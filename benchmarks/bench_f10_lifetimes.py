@@ -1,0 +1,15 @@
+"""R-F10: VM lifetime distributions, cloud vs classic datacenter.
+
+Expected shape: cloud median lifetimes in hours; classic in months —
+the churn that multiplies cloud provisioning rates (claim 2).
+"""
+
+
+def test_bench_f10_lifetimes(exhibit):
+    result = exhibit("R-F10")
+    p50 = {row[0]: float(row[1]) for row in result.rows}
+    assert p50["cloud_a"] < 24.0          # hours
+    assert p50["classic_dc"] > 24.0 * 20  # > 20 days, in hours
+    for label, cdf in result.series.items():
+        values = [value for value, _ in cdf]
+        assert values == sorted(values), label

@@ -1,0 +1,18 @@
+"""R-F1: operation arrival rate over the day (Cloud A).
+
+Expected shape: a pronounced diurnal envelope — peak-hour rate several
+times the overnight trough.
+"""
+
+from benchmarks.conftest import QUICK
+
+
+def test_bench_f1_arrivals(exhibit):
+    result = exhibit("R-F1")
+    metrics = {row[0]: row[1] for row in result.rows}
+    ratio = float(metrics["peak/trough rate ratio"])
+    series = next(iter(result.series.values()))
+    assert len(series) >= 8
+    if not QUICK:
+        # A full day shows the diurnal swing; a quick 6h window may not.
+        assert ratio > 2.0

@@ -1,0 +1,17 @@
+"""R-F2: per-operation latency distributions under cloud load.
+
+Expected shape: heavy-tailed bodies (p99 >> p50); deploys slower than
+power operations; CDFs monotone.
+"""
+
+
+def test_bench_f2_latency_cdf(exhibit):
+    result = exhibit("R-F2")
+    stats = {row[0]: {"p50": float(row[2]), "p99": float(row[4])} for row in result.rows}
+    if "deploy" in stats and "power_on" in stats:
+        assert stats["deploy"]["p50"] > stats["power_on"]["p50"]
+    for op, s in stats.items():
+        assert s["p99"] >= s["p50"], op
+    for label, cdf in result.series.items():
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions), label

@@ -1,0 +1,30 @@
+"""R-F3 (headline): provisioning throughput vs concurrency, full vs linked.
+
+Paper claim 3. Expected shape: linked clones beat full clones by >10x at
+every concurrency; full clones flatline early at the storage ceiling;
+linked clones keep scaling until the control plane caps them (their curve
+flattens while p50 latency climbs).
+"""
+
+
+def test_bench_f3_throughput(exhibit):
+    result = exhibit("R-F3")
+    linked = [row for row in result.rows if row[0] == "linked"]
+    full = [row for row in result.rows if row[0] == "full"]
+
+    # Linked wins at matched concurrency, massively.
+    for linked_row, full_row in zip(linked, full):
+        assert float(linked_row[2]) > 10 * float(full_row[2])
+
+    # Full clones are storage-bound: the last two concurrency points give
+    # the same throughput.
+    assert abs(float(full[-1][2]) - float(full[-2][2])) <= 0.25 * float(full[-2][2])
+
+    # Linked clones saturate too (control plane): the curve's growth slows —
+    # the last doubling of concurrency buys < 1.6x.
+    gain = float(linked[-1][2]) / max(1.0, float(linked[-2][2]))
+    assert gain < 1.6
+
+    # Linked moved (essentially) no data; full moved disk-sized bytes.
+    assert all(float(row[4]) == 0 for row in linked)
+    assert all(float(row[4]) > 100 for row in full)

@@ -1,0 +1,12 @@
+"""R-F4: data-plane bytes per provisioned VM, full vs linked.
+
+Expected shape: full clones move ~the template's disk size per VM; linked
+clones move orders of magnitude less (metadata only).
+"""
+
+
+def test_bench_f4_bandwidth(exhibit):
+    result = exhibit("R-F4")
+    per_vm = {row[0]: float(row[3]) for row in result.rows}
+    assert per_vm["full"] > 30.0          # ~40 GB template
+    assert per_vm["linked"] < per_vm["full"] / 10

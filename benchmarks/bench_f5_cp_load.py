@@ -1,0 +1,33 @@
+"""R-F5: control-plane utilization vs linked-clone provisioning rate.
+
+Expected shape: with zero data-plane bytes, a *control-plane* resource
+(management-server CPU here) climbs toward 1.0 as the offered rate rises,
+and operation latency blows up past the knee — the management control
+plane is the limiting factor in deploying cloud resources.
+"""
+
+
+def test_bench_f5_cp_load(exhibit):
+    result = exhibit("R-F5")
+    rows = [
+        {
+            "rate": float(row[0]),
+            "cpu": float(row[2]),
+            "db": float(row[3]),
+            "hostd": float(row[4]),
+            "p50": float(row[5]),
+            "bottleneck": row[6],
+        }
+        for row in result.rows
+    ]
+    # CPU utilization is monotone in offered rate and saturates.
+    cpus = [row["cpu"] for row in rows]
+    assert cpus == sorted(cpus)
+    assert cpus[-1] > 0.9
+    # The bottleneck is a control-plane resource, and it isn't the storage
+    # plane: hostd/db stay far below the saturated resource.
+    assert rows[-1]["bottleneck"] == "cpu"
+    assert rows[-1]["db"] < 0.5
+    assert rows[-1]["hostd"] < 0.5
+    # Latency collapse past the knee.
+    assert rows[-1]["p50"] > 5 * rows[0]["p50"]

@@ -1,0 +1,14 @@
+"""R-F7: task-queue depth during an MMPP provisioning burst.
+
+Expected shape: queue depth spikes during bursts (well above the
+time-mean) and drains between them; everything still completes.
+"""
+
+
+def test_bench_f7_queue_depth(exhibit):
+    result = exhibit("R-F7")
+    metrics = {row[0]: float(row[1]) for row in result.rows}
+    assert metrics["clones completed"] > 0
+    assert metrics["max queue depth"] >= 3 * max(0.1, metrics["time-mean queue depth"])
+    depth_series = next(iter(result.series.values()))
+    assert depth_series[-1][1] == 0  # fully drained

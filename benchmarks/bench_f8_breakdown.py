@@ -1,0 +1,14 @@
+"""R-F8: end-to-end deploy latency breakdown by plane.
+
+Expected shape: full deploys spend most wall time on the data plane
+(the disk copy); linked deploys spend none there — their entire latency
+is control-plane work.
+"""
+
+
+def test_bench_f8_breakdown(exhibit):
+    result = exhibit("R-F8")
+    rows = {row[0]: {"control": float(row[1]), "data": float(row[2])} for row in result.rows}
+    assert rows["full"]["data"] > 50.0
+    assert rows["linked"]["data"] == 0.0
+    assert rows["linked"]["control"] > 60.0

@@ -1,0 +1,14 @@
+"""R-F9: provisioning throughput vs management-plane shard count.
+
+Expected shape: throughput grows with shards (each shard multiplies every
+control-plane resource) with reasonable efficiency at small counts.
+"""
+
+
+def test_bench_f9_shards(exhibit):
+    result = exhibit("R-F9")
+    series = next(iter(result.series.values()))
+    throughputs = [throughput for _, throughput in series]
+    assert throughputs == sorted(throughputs)
+    # Going 1 -> max shards buys at least 1.5x.
+    assert throughputs[-1] > 1.5 * throughputs[0]

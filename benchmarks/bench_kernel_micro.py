@@ -1,0 +1,74 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Unlike the exhibit benches (single-shot experiment regeneration), these
+use pytest-benchmark's repeated rounds to measure the DES kernel's raw
+speed — the quantity that bounds how large a datacenter we can simulate.
+"""
+
+from repro.sim import Resource, Simulator
+from repro.storage import FairShareLink
+
+
+def run_timeout_chain(events):
+    sim = Simulator()
+
+    def proc():
+        for _ in range(events):
+            yield sim.timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    return sim.now
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch 20k sequential timeout events."""
+    result = benchmark(run_timeout_chain, 20_000)
+    assert result == 20_000.0
+
+
+def run_resource_contention(processes, cycles):
+    sim = Simulator()
+    resource = Resource(sim, capacity=4)
+    done = []
+
+    def proc():
+        for _ in range(cycles):
+            request = resource.request()
+            yield request
+            yield sim.timeout(1.0)
+            resource.release(request)
+        done.append(True)
+
+    for _ in range(processes):
+        sim.spawn(proc())
+    sim.run()
+    return len(done)
+
+
+def test_resource_handoff_throughput(benchmark):
+    """100 processes x 50 acquire/hold/release cycles on one pool."""
+    result = benchmark(run_resource_contention, 100, 50)
+    assert result == 100
+
+
+def run_fair_share_churn(transfers):
+    sim = Simulator()
+    link = FairShareLink(sim, capacity_bps=1e6)
+    finished = []
+
+    def submit(index):
+        yield sim.timeout(index * 0.1)
+        transfer = yield link.transfer(1e4 + index)
+        finished.append(transfer)
+
+    for index in range(transfers):
+        sim.spawn(submit(index))
+    sim.run()
+    return len(finished)
+
+
+def test_fair_share_reschedule_cost(benchmark):
+    """500 overlapping transfers forcing continual rate recomputation."""
+    result = benchmark(run_fair_share_churn, 500)
+    assert result == 500

@@ -1,0 +1,11 @@
+"""R-T1: setup characteristics of the two clouds and the baseline."""
+
+
+def test_bench_t1_setups(exhibit):
+    result = exhibit("R-T1")
+    setups = [row[0] for row in result.rows]
+    assert setups == ["cloud_a", "cloud_b", "classic_dc"]
+    # Clouds are linked-clone shops; the classic DC is not.
+    linked = {row[0]: float(row[6].rstrip("%")) for row in result.rows}
+    assert linked["cloud_a"] > 90
+    assert linked["classic_dc"] < 10

@@ -1,0 +1,26 @@
+"""R-T2: management operation mix — clouds vs classic datacenter.
+
+Paper claim 2: cloud workflows differ from typical datacenter workflows.
+Expected shape: cloud traces are provisioning-dominated (deploy/destroy at
+the top); the classic trace is power/maintenance-dominated with
+provisioning in the noise.
+"""
+
+
+def test_bench_t2_opmix(exhibit):
+    result = exhibit("R-T2")
+    fractions = {
+        row[0]: {"cloud_a": float(row[1]), "cloud_b": float(row[2]), "classic_dc": float(row[3])}
+        for row in result.rows
+    }
+    provisioning = {"deploy", "destroy"}
+    for label in ("cloud_a", "cloud_b"):
+        share = sum(fractions[op][label] for op in provisioning if op in fractions)
+        assert share > 30.0, f"{label} provisioning share {share}"
+    classic_share = sum(
+        fractions[op]["classic_dc"] for op in provisioning if op in fractions
+    )
+    cloud_share = sum(fractions[op]["cloud_a"] for op in provisioning if op in fractions)
+    assert cloud_share > 2 * classic_share
+    # Top cloud_a operation is a provisioning verb.
+    assert result.rows[0][0] in provisioning

@@ -1,0 +1,19 @@
+"""R-T3: control-plane design ablations under a linked-clone storm.
+
+The "may influence virtualized datacenter design" claim, quantified.
+Expected shape: knobs on the saturated resource (CPU workers) help;
+data-plane knobs (copy slots) do nothing for linked clones; coarse
+inventory locking collapses throughput.
+"""
+
+
+def test_bench_t3_ablations(exhibit):
+    result = exhibit("R-T3")
+    speedups = {row[0]: float(row[2].rstrip("x")) for row in result.rows}
+    assert speedups["baseline"] == 1.0
+    # More CPU workers relieve the saturated resource.
+    assert speedups["2x cpu workers"] > 1.2
+    # Copy slots are a data-plane knob: irrelevant to linked clones.
+    assert 0.8 < speedups["2x copy slots"] < 1.2
+    # A single global inventory lock destroys concurrency.
+    assert speedups["coarse locks"] < 0.5

@@ -1,0 +1,15 @@
+"""R-X1 (extension): HA restart-storm recovery time vs VM density.
+
+Expected shape: recovery time grows with the number of VMs on the failed
+host — availability recovery is control-plane work, so cloud-scale VM
+densities stretch it.
+"""
+
+
+def test_bench_x1_restart_storm(exhibit):
+    result = exhibit("R-X1")
+    recovery = [(int(row[0]), float(row[2])) for row in result.rows]
+    # All VMs restarted at every density.
+    assert all(int(row[1]) == int(row[0]) for row in result.rows)
+    # Recovery time grows with density.
+    assert recovery[-1][1] > recovery[0][1]

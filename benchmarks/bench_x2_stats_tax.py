@@ -1,0 +1,13 @@
+"""R-X2 (extension): the statistics-collection tax on provisioning.
+
+Expected shape: higher stats levels (more rows per host per cycle) eat
+database headroom and reduce linked-clone storm throughput.
+"""
+
+
+def test_bench_x2_stats_tax(exhibit):
+    result = exhibit("R-X2")
+    throughput = {int(row[0]): float(row[1]) for row in result.rows}
+    levels = sorted(throughput)
+    # Level 4 measurably slower than no collection.
+    assert throughput[levels[-1]] < 0.95 * throughput[0]

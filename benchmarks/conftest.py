@@ -1,0 +1,50 @@
+"""Benchmark harness shared bits.
+
+Each ``bench_*`` module regenerates one reconstructed exhibit (table or
+figure) via the experiment registry, prints it, persists it under
+``benchmarks/results/``, and asserts the shape the paper reports.
+
+Set ``REPRO_BENCH_QUICK=1`` to run shrunken sizes (CI smoke).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(result) -> None:
+    """Print the exhibit; persist text and (if any) series CSV."""
+    from repro.analysis.report import export_series_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render() + "\n"
+    (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text)
+    if result.series:
+        export_series_csv(result.series, RESULTS_DIR / f"{result.exp_id}.csv")
+    print("\n" + text)
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+
+    def run(exp_id: str):
+        from repro.core.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"seed": SEED, "quick": QUICK},
+            rounds=1,
+            iterations=1,
+        )
+        record(result)
+        return result
+
+    return run

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Clone storm: reproduce the paper's headline asymmetry interactively.
+
+Provisions the same number of VMs twice — once with full clones (bytes
+proportional to disk size move through the storage plane) and once with
+linked clones (no bytes move) — at increasing offered concurrency, and
+shows where each mode saturates.
+
+The expected shape (the paper's claim 3): full clones hit a *storage*
+ceiling almost immediately; linked clones go orders of magnitude faster
+and hit a *control-plane* ceiling instead — visible as CPU/database
+utilization approaching 1.0 while the storage plane sits idle.
+
+Usage::
+
+    python examples/clone_storm.py [--clones N] [--hosts N] [--seed N]
+"""
+
+import argparse
+
+from repro.analysis.report import render_table
+from repro.core.experiments import StormRig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clones", type=int, default=64)
+    parser.add_argument("--hosts", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    for linked in (False, True):
+        mode = "linked" if linked else "full"
+        for concurrency in (1, 8, 32):
+            rig = StormRig(seed=args.seed, hosts=args.hosts, datastores=4)
+            outcome = rig.closed_loop_storm(args.clones, concurrency, linked)
+            snapshot = rig.server.utilization_snapshot()
+            rows.append(
+                [
+                    mode,
+                    concurrency,
+                    f"{outcome['throughput_per_hour']:.0f}",
+                    f"{outcome['latency_p50']:.1f}",
+                    f"{outcome['bytes_written_gb']:.0f}",
+                    f"{snapshot['cpu']:.2f}",
+                    f"{snapshot['db']:.2f}",
+                    rig.server.bottleneck(),
+                ]
+            )
+    print(
+        render_table(
+            [
+                "mode",
+                "concurrency",
+                "clones/hr",
+                "p50 (s)",
+                "GB moved",
+                "cpu util",
+                "db util",
+                "bottleneck",
+            ],
+            rows,
+            title=f"Clone storm: {args.clones} clones, {args.hosts} hosts",
+        )
+    )
+    print(
+        "\nReading: the full-clone rows stop improving once the per-datastore "
+        "copy slots saturate the storage links; the linked rows keep scaling "
+        "until the management server's CPU/database saturate — the control "
+        "plane is now the limiting factor (the paper's central result)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design response: scale the control plane out, or tune it?
+
+The paper closes by arguing that cloud provisioning rates "may influence
+virtualized datacenter design". This example explores the two design
+responses our model supports:
+
+1. **Tuning one server** — the R-T3 ablation knobs (database batching,
+   more op threads, more DB connections, coarse vs fine locking).
+2. **Sharding** — running N smaller management servers side by side
+   (R-F9), each owning a slice of the hosts.
+
+Usage::
+
+    python examples/scaleout_design.py [--clones N] [--seed N]
+"""
+
+import argparse
+
+from repro.analysis.report import render_table
+from repro.controlplane import ControlPlaneConfig
+from repro.core.experiments import StormRig, experiment_f9_shards
+
+
+def tuning_study(clones: int, seed: int) -> None:
+    variants = [
+        ("baseline", ControlPlaneConfig()),
+        ("db batching", ControlPlaneConfig(db_batching=True)),
+        ("8 op threads", ControlPlaneConfig(cpu_workers=8)),
+        ("coarse locks", ControlPlaneConfig(lock_granularity="coarse")),
+        ("everything", ControlPlaneConfig(db_batching=True, cpu_workers=8, db_connections=32)),
+    ]
+    rows = []
+    base = None
+    for label, config in variants:
+        rig = StormRig(seed=seed, hosts=16, datastores=4, config=config)
+        outcome = rig.closed_loop_storm(clones, concurrency=32, linked=True)
+        tph = outcome["throughput_per_hour"]
+        base = base or tph
+        rows.append([label, f"{tph:.0f}", f"{tph / base:.2f}x"])
+    print(render_table(["variant", "clones/hour", "vs baseline"], rows,
+                       title="Tuning one management server"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clones", type=int, default=96)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    tuning_study(args.clones, args.seed)
+    print()
+    result = experiment_f9_shards(seed=args.seed, quick=True)
+    print(result.render())
+    print(
+        "\nReading: single-server tuning helps until the next resource "
+        "saturates; sharding multiplies every control-plane resource at "
+        "once and scales provisioning nearly linearly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline environment here ships setuptools 65.5 without `wheel`, so
+PEP 660 editable installs fail; `pip install -e . --no-build-isolation
+--no-use-pep517` falls back to `setup.py develop` via this shim. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — reproduction of Soundararajan & Spracklen, IISWC 2013.
+
+*Revisiting the management control plane in virtualized cloud computing
+infrastructure.*
+
+The package models a virtualized cloud infrastructure end-to-end — hosts,
+datastores, VMs, a vCenter-style management control plane, and a
+vCloud-Director-style self-service layer — as a deterministic discrete-event
+simulation, then characterizes the management workload that self-service
+clouds induce, reproducing the paper's central finding: once linked clones
+make the *data* plane cheap, the *control* plane becomes the limiting factor
+in cloud provisioning.
+
+Quickstart::
+
+    from repro import CloudManagementProfiler, profiles
+
+    profiler = CloudManagementProfiler(profiles.CLOUD_A, seed=7)
+    result = profiler.run(duration=4 * 3600.0)
+    print(result.report())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reconstructed table/figure index.
+"""
+
+from repro.core.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.core.profiler import CloudManagementProfiler, ProfileResult
+from repro.core.scenario import Scenario, ScenarioResult
+from repro.workloads import profiles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudManagementProfiler",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ProfileResult",
+    "Scenario",
+    "ScenarioResult",
+    "profiles",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""The characterization pipeline: what the paper *did* to its logs.
+
+Consumes :class:`~repro.traces.records.TraceRecord` lists (synthetic here,
+but schema-compatible with parsed production logs) and produces the
+paper's analyses: operation mixes, latency distributions, arrival-rate
+time series, and control-vs-data plane attribution.
+"""
+
+from repro.analysis.bottleneck import (
+    phase_breakdown,
+    plane_breakdown,
+    plane_breakdown_by_type,
+)
+from repro.analysis.burstiness import (
+    arrival_cov,
+    burstiness_summary,
+    index_of_dispersion,
+)
+from repro.analysis.comparison import compare_traces, comparison_report
+from repro.analysis.latency import latency_by_type, latency_cdf, latency_stats
+from repro.analysis.mix import mix_comparison, operation_counts, operation_mix
+from repro.analysis.report import render_series, render_table
+from repro.analysis.timeseries import arrival_rate_series, completion_rate_series
+
+__all__ = [
+    "arrival_cov",
+    "arrival_rate_series",
+    "burstiness_summary",
+    "compare_traces",
+    "comparison_report",
+    "index_of_dispersion",
+    "completion_rate_series",
+    "latency_by_type",
+    "latency_cdf",
+    "latency_stats",
+    "mix_comparison",
+    "operation_counts",
+    "operation_mix",
+    "phase_breakdown",
+    "plane_breakdown",
+    "plane_breakdown_by_type",
+    "render_series",
+    "render_table",
+]

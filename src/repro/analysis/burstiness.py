@@ -1,0 +1,69 @@
+"""Burstiness metrics for operation arrival streams.
+
+Characterization studies quantify how far an arrival stream departs from
+Poisson: the coefficient of variation of inter-arrival times (CoV = 1 for
+Poisson, > 1 bursty) and the index of dispersion for counts (IDC).
+Self-service clouds are distinctly bursty — batch deployments and
+classroom labs — which is what stresses the control plane's queues (R-F7).
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.traces.records import TraceRecord
+
+
+def interarrival_times(records: typing.Sequence[TraceRecord]) -> list[float]:
+    """Gaps between successive submissions (submission-time order)."""
+    times = sorted(record.submitted_at for record in records)
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def coefficient_of_variation(values: typing.Sequence[float]) -> float:
+    """stddev / mean; 0 for constant streams, 1 for Poisson gaps."""
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 0.0
+    variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    return math.sqrt(variance) / mean
+
+
+def arrival_cov(records: typing.Sequence[TraceRecord]) -> float:
+    """CoV of the trace's inter-arrival times."""
+    return coefficient_of_variation(interarrival_times(records))
+
+
+def index_of_dispersion(
+    records: typing.Sequence[TraceRecord], bin_s: float = 60.0
+) -> float:
+    """Variance-to-mean ratio of per-bin arrival counts (1 for Poisson)."""
+    if not records:
+        return 0.0
+    times = [record.submitted_at for record in records]
+    lo, hi = min(times), max(times)
+    if hi <= lo:
+        return 0.0
+    bins = int((hi - lo) / bin_s) + 1
+    counts = [0] * bins
+    for time in times:
+        counts[int((time - lo) / bin_s)] = counts[int((time - lo) / bin_s)] + 1
+    mean = sum(counts) / len(counts)
+    if mean <= 0:
+        return 0.0
+    variance = sum((count - mean) ** 2 for count in counts) / max(1, len(counts) - 1)
+    return variance / mean
+
+
+def burstiness_summary(
+    records: typing.Sequence[TraceRecord], bin_s: float = 60.0
+) -> dict[str, float]:
+    """CoV + IDC in one call (the R-F7 companion statistics)."""
+    return {
+        "arrival_cov": arrival_cov(records),
+        "index_of_dispersion": index_of_dispersion(records, bin_s=bin_s),
+        "operations": float(len(records)),
+    }

@@ -1,0 +1,46 @@
+"""Latency analysis: summary statistics and CDFs (R-F2)."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.stats import LatencyRecorder
+from repro.traces.records import TraceRecord
+
+
+def latency_stats(records: typing.Sequence[TraceRecord]) -> dict[str, float]:
+    """count / mean / p50 / p95 / p99 / max over end-to-end latencies."""
+    recorder = LatencyRecorder("latency")
+    for record in records:
+        recorder.record(record.latency)
+    if recorder.count == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": recorder.count,
+        "mean": recorder.mean,
+        "p50": recorder.percentile(0.50),
+        "p95": recorder.percentile(0.95),
+        "p99": recorder.percentile(0.99),
+        "max": recorder.percentile(1.0),
+    }
+
+
+def latency_by_type(
+    records: typing.Sequence[TraceRecord],
+) -> dict[str, dict[str, float]]:
+    """Per-operation-type latency statistics, sorted by p50 descending."""
+    groups: dict[str, list[TraceRecord]] = {}
+    for record in records:
+        groups.setdefault(record.op_type, []).append(record)
+    stats = {op: latency_stats(group) for op, group in groups.items()}
+    return dict(sorted(stats.items(), key=lambda item: -item[1]["p50"]))
+
+
+def latency_cdf(
+    records: typing.Sequence[TraceRecord], points: int = 50
+) -> list[tuple[float, float]]:
+    """(latency, cumulative fraction) pairs for plotting."""
+    recorder = LatencyRecorder("cdf")
+    for record in records:
+        recorder.record(record.latency)
+    return recorder.cdf(points=points)

@@ -1,0 +1,47 @@
+"""Operation-mix analysis (R-T2)."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.traces.records import TraceRecord
+
+
+def operation_counts(records: typing.Iterable[TraceRecord]) -> dict[str, int]:
+    """Completed-operation counts by type."""
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record.op_type] = counts.get(record.op_type, 0) + 1
+    return counts
+
+
+def operation_mix(records: typing.Sequence[TraceRecord]) -> dict[str, float]:
+    """Fraction of total operations by type (sums to 1 for non-empty input)."""
+    counts = operation_counts(records)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {op: count / total for op, count in counts.items()}
+
+
+def mix_comparison(
+    traces: dict[str, typing.Sequence[TraceRecord]]
+) -> tuple[list[str], list[list[str]]]:
+    """Headers and rows comparing mixes across labeled traces.
+
+    Rows are sorted by the first trace's fraction, descending — the
+    presentation order characterization papers use.
+    """
+    mixes = {label: operation_mix(trace) for label, trace in traces.items()}
+    labels = list(traces)
+    all_ops: set[str] = set()
+    for mix in mixes.values():
+        all_ops.update(mix)
+    first = labels[0] if labels else ""
+    ordered = sorted(all_ops, key=lambda op: -mixes.get(first, {}).get(op, 0.0))
+    headers = ["operation"] + [f"{label} (%)" for label in labels]
+    rows = [
+        [op] + [f"{mixes[label].get(op, 0.0) * 100:.1f}" for label in labels]
+        for op in ordered
+    ]
+    return headers, rows

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``profile <name>`` — run the characterization harness over a cloud
+  profile and print the report (optionally dump the trace).
+- ``experiment <id>`` — run one registered exhibit (R-T1 … R-F10).
+- ``storm`` — a one-off clone storm with explicit knobs.
+- ``list`` — enumerate profiles and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.core.experiments import EXPERIMENTS, StormRig, run_experiment
+from repro.core.profiler import CloudManagementProfiler
+from repro.traces.io import write_csv, write_jsonl
+from repro.workloads.profiles import ALL_PROFILES
+
+PROFILES = {profile.name: profile for profile in ALL_PROFILES}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Management-control-plane workload characterization "
+        "(IISWC 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile_cmd = sub.add_parser("profile", help="characterize one cloud profile")
+    profile_cmd.add_argument("name", choices=sorted(PROFILES))
+    profile_cmd.add_argument("--hours", type=float, default=4.0)
+    profile_cmd.add_argument("--seed", type=int, default=0)
+    profile_cmd.add_argument(
+        "--trace-out", help="write the operation trace (.csv or .jsonl)"
+    )
+
+    experiment_cmd = sub.add_parser("experiment", help="run one exhibit")
+    experiment_cmd.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    experiment_cmd.add_argument("--seed", type=int, default=0)
+    experiment_cmd.add_argument("--quick", action="store_true")
+
+    storm_cmd = sub.add_parser("storm", help="one clone storm")
+    storm_cmd.add_argument("--clones", type=int, default=64)
+    storm_cmd.add_argument("--concurrency", type=int, default=16)
+    storm_cmd.add_argument("--full", action="store_true", help="full clones (default linked)")
+    storm_cmd.add_argument("--hosts", type=int, default=16)
+    storm_cmd.add_argument("--seed", type=int, default=0)
+
+    sweep_cmd = sub.add_parser("sweep", help="sensitivity sweep of one constant")
+    sweep_cmd.add_argument(
+        "parameter", help="costs.<field> or config.<field>, e.g. config.cpu_workers"
+    )
+    sweep_cmd.add_argument(
+        "values", help="comma-separated values, e.g. 2,4,8,16"
+    )
+    sweep_cmd.add_argument("--seed", type=int, default=0)
+    sweep_cmd.add_argument("--clones", type=int, default=64)
+    sweep_cmd.add_argument("--full", action="store_true")
+
+    sub.add_parser("list", help="list profiles and experiments")
+    return parser
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    profiler = CloudManagementProfiler(PROFILES[args.name], seed=args.seed)
+    result = profiler.run(duration=args.hours * 3600.0)
+    print(result.report())
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            count = write_jsonl(result.trace, args.trace_out)
+        elif args.trace_out.endswith(".csv"):
+            count = write_csv(result.trace, args.trace_out)
+        else:
+            print("error: --trace-out must end in .csv or .jsonl", file=sys.stderr)
+            return 2
+        print(f"\nwrote {count} trace records to {args.trace_out}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.exp_id, seed=args.seed, quick=args.quick)
+    print(result.render())
+    return 0
+
+
+def cmd_storm(args: argparse.Namespace) -> int:
+    rig = StormRig(seed=args.seed, hosts=args.hosts, datastores=4)
+    outcome = rig.closed_loop_storm(
+        args.clones, args.concurrency, linked=not args.full
+    )
+    mode = "full" if args.full else "linked"
+    print(f"{mode} storm: {outcome['completed']} clones in {outcome['makespan_s']:.0f}s")
+    print(f"  throughput: {outcome['throughput_per_hour']:.0f} clones/hour")
+    print(f"  p50 latency: {outcome['latency_p50']:.1f}s")
+    print(f"  data written: {outcome['bytes_written_gb']:.0f} GB")
+    print(f"  bottleneck: {rig.server.bottleneck()}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import sweep
+
+    def parse(token: str):
+        token = token.strip()
+        for caster in (int, float):
+            try:
+                return caster(token)
+            except ValueError:
+                continue
+        if token in ("true", "True"):
+            return True
+        if token in ("false", "False"):
+            return False
+        return token
+
+    values = [parse(token) for token in args.values.split(",") if token.strip()]
+    try:
+        result = sweep(
+            args.parameter,
+            values,
+            seed=args.seed,
+            total=args.clones,
+            linked=not args.full,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("profiles:")
+    for profile in ALL_PROFILES:
+        print(f"  {profile.name:<12} {profile.description}")
+    print("\nexperiments:")
+    for exp_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:<7} {doc}")
+    return 0
+
+
+_HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
+    "profile": cmd_profile,
+    "experiment": cmd_experiment,
+    "storm": cmd_storm,
+    "sweep": cmd_sweep,
+    "list": cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

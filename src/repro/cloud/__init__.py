@@ -1,0 +1,43 @@
+"""The self-service cloud layer (vCloud-Director-style).
+
+Tenants deploy vApps from catalogs through a :class:`CloudDirector`, which
+translates every self-service request into streams of management
+operations against the control plane. Elasticity policies watch capacity
+and trigger infrastructure reconfiguration — the mechanism by which cloud
+provisioning rates drag "previously infrequent" operations into the hot
+path (the paper's claim 4).
+"""
+
+from repro.cloud.api import ApiGateway, Session, SessionError
+from repro.cloud.catalog import Catalog, CatalogItem
+from repro.cloud.director import CloudDirector, DeployRequest
+from repro.cloud.elasticity import ElasticityPolicy, SparePool
+from repro.cloud.drs import LoadBalancer
+from repro.cloud.federation import FederatedCloud
+from repro.cloud.ha import FailureInjector, HAManager
+from repro.cloud.placement import PlacementEngine, PlacementError
+from repro.cloud.tenancy import Organization, QuotaExceeded, User
+from repro.cloud.vapp import VApp, VAppState
+
+__all__ = [
+    "ApiGateway",
+    "Catalog",
+    "CatalogItem",
+    "CloudDirector",
+    "DeployRequest",
+    "ElasticityPolicy",
+    "FailureInjector",
+    "FederatedCloud",
+    "HAManager",
+    "LoadBalancer",
+    "Organization",
+    "PlacementEngine",
+    "PlacementError",
+    "QuotaExceeded",
+    "Session",
+    "SessionError",
+    "SparePool",
+    "User",
+    "VApp",
+    "VAppState",
+]

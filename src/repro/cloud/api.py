@@ -1,0 +1,136 @@
+"""The self-service API gateway: sessions and admission throttling.
+
+Production directors front the control plane with an API layer that (a)
+tracks tenant sessions (each holds management-server memory) and (b)
+throttles request admission so a single tenant's script can't saturate
+the task pipeline. Throttling trades tenant-visible queueing for
+control-plane protection — a design lever the paper's conclusions point
+toward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cloud.tenancy import Organization, User
+from repro.sim.kernel import Simulator
+from repro.sim.resources import TokenBucket
+from repro.sim.stats import MetricsRegistry
+
+
+class SessionError(Exception):
+    """Invalid or expired session usage."""
+
+
+@dataclasses.dataclass
+class Session:
+    """One authenticated tenant session."""
+
+    session_id: int
+    user: User
+    opened_at: float
+    last_used_at: float
+    closed: bool = False
+
+
+class ApiGateway:
+    """Session registry + per-org token-bucket admission.
+
+    ``admit`` is the process-style entry point request handlers call
+    before touching the director: it validates the session and blocks
+    until the org's bucket grants a token.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        requests_per_minute: float = 60.0,
+        burst: float = 10.0,
+        session_idle_timeout_s: float = 1800.0,
+    ) -> None:
+        if requests_per_minute <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        if session_idle_timeout_s <= 0:
+            raise ValueError("session_idle_timeout_s must be positive")
+        self.sim = sim
+        self.rate_per_s = requests_per_minute / 60.0
+        self.burst = burst
+        self.session_idle_timeout_s = session_idle_timeout_s
+        self.metrics = MetricsRegistry(sim, prefix="api")
+        self._sessions: dict[int, Session] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._next_id = 0
+
+    # -- sessions --------------------------------------------------------------
+
+    def login(self, user: User) -> Session:
+        self._next_id += 1
+        session = Session(
+            session_id=self._next_id,
+            user=user,
+            opened_at=self.sim.now,
+            last_used_at=self.sim.now,
+        )
+        self._sessions[session.session_id] = session
+        self.metrics.counter("logins").add()
+        return session
+
+    def logout(self, session: Session) -> None:
+        if session.closed:
+            raise SessionError(f"session {session.session_id} already closed")
+        session.closed = True
+        del self._sessions[session.session_id]
+        self.metrics.counter("logouts").add()
+
+    def validate(self, session: Session) -> None:
+        """Raise unless the session is live; expire idle sessions."""
+        if session.closed or session.session_id not in self._sessions:
+            raise SessionError(f"session {session.session_id} is closed")
+        idle = self.sim.now - session.last_used_at
+        if idle > self.session_idle_timeout_s:
+            session.closed = True
+            del self._sessions[session.session_id]
+            self.metrics.counter("expirations").add()
+            raise SessionError(
+                f"session {session.session_id} expired after {idle:.0f}s idle"
+            )
+        session.last_used_at = self.sim.now
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def reap_idle(self) -> int:
+        """Expire every idle session now; returns the count reaped."""
+        stale = [
+            session
+            for session in self._sessions.values()
+            if self.sim.now - session.last_used_at > self.session_idle_timeout_s
+        ]
+        for session in stale:
+            session.closed = True
+            del self._sessions[session.session_id]
+            self.metrics.counter("expirations").add()
+        return len(stale)
+
+    # -- admission ----------------------------------------------------------------
+
+    def _bucket(self, org: Organization) -> TokenBucket:
+        if org.name not in self._buckets:
+            self._buckets[org.name] = TokenBucket(
+                self.sim, rate=self.rate_per_s, burst=self.burst, name=f"api:{org.name}"
+            )
+        return self._buckets[org.name]
+
+    def admit(
+        self, session: Session, cost: float = 1.0
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: validate + throttle; returns the admission wait."""
+        self.validate(session)
+        start = self.sim.now
+        yield from self._bucket(session.user.org).take(cost)
+        wait = self.sim.now - start
+        self.metrics.counter("admitted").add()
+        self.metrics.latency("admission_wait").record(wait)
+        return wait

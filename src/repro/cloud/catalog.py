@@ -1,0 +1,48 @@
+"""Catalogs: the published menu of deployable images."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogItem:
+    """One deployable entry: a template plus its provisioning mode.
+
+    ``linked`` selects the clone flavour — the knob the paper's clouds
+    flipped to conserve data bandwidth.
+    """
+
+    name: str
+    template_name: str
+    linked: bool = True
+    description: str = ""
+
+
+class Catalog:
+    """A named collection of catalog items."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._items: dict[str, CatalogItem] = {}
+
+    def add(self, item: CatalogItem) -> CatalogItem:
+        if item.name in self._items:
+            raise ValueError(f"catalog {self.name!r} already has item {item.name!r}")
+        self._items[item.name] = item
+        return item
+
+    def get(self, name: str) -> CatalogItem:
+        try:
+            return self._items[name]
+        except KeyError:
+            raise KeyError(f"catalog {self.name!r} has no item {name!r}") from None
+
+    def items(self) -> list[CatalogItem]:
+        return sorted(self._items.values(), key=lambda item: item.name)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items

@@ -1,0 +1,204 @@
+"""The cloud director: the self-service API over the control plane.
+
+Each tenant deploy request fans out into per-VM DeployFromTemplate
+operations; each delete into power-off + destroy pairs. The director is
+where the paper's workload multiplier lives: one click, many management
+operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cloud.catalog import Catalog, CatalogItem
+from repro.cloud.placement import PlacementEngine, PlacementError
+from repro.cloud.tenancy import Organization, QuotaExceeded
+from repro.cloud.vapp import VApp, VAppState
+from repro.datacenter.entities import Cluster
+from repro.datacenter.templates import TemplateLibrary
+from repro.datacenter.vm import PowerState
+from repro.operations.provisioning import DeployFromTemplate
+from repro.operations.lifecycle import DestroyVM
+from repro.operations.power import PowerOff
+from repro.sim.events import AllOf
+from repro.sim.stats import MetricsRegistry
+from repro.controlplane.server import ManagementServer
+
+
+@dataclasses.dataclass
+class DeployRequest:
+    """A tenant's request: N instances of a catalog item as one vApp."""
+
+    org: Organization
+    item: CatalogItem
+    vm_count: int
+    vapp_name: str
+
+    def __post_init__(self) -> None:
+        if self.vm_count < 1:
+            raise ValueError("vm_count must be >= 1")
+
+
+class CloudDirector:
+    """Self-service facade: deploy/delete vApps against one cluster."""
+
+    def __init__(
+        self,
+        server: ManagementServer,
+        cluster: Cluster,
+        library: TemplateLibrary,
+        catalog: Catalog,
+        placement: PlacementEngine | None = None,
+        retries_per_vm: int = 1,
+    ) -> None:
+        if retries_per_vm < 0:
+            raise ValueError("retries_per_vm must be >= 0")
+        self.server = server
+        self.sim = server.sim
+        self.cluster = cluster
+        self.library = library
+        self.catalog = catalog
+        self.placement = placement or PlacementEngine()
+        self.retries_per_vm = retries_per_vm
+        self.metrics = MetricsRegistry(server.sim, prefix="director")
+        self.vapps: list[VApp] = []
+
+    # -- deploy ----------------------------------------------------------------
+
+    def deploy(
+        self, request: DeployRequest
+    ) -> typing.Generator[typing.Any, typing.Any, VApp]:
+        """Process-style: deploy a vApp; returns it (state settled).
+
+        Quota and placement failures raise before any operation is issued;
+        per-VM operation failures leave the vApp PARTIAL/FAILED.
+        """
+        template = self.library.get(request.item.template_name)
+        storage_per_vm = (
+            template.total_disk_gb if not request.item.linked else 1.0
+        )
+        request.org.charge(request.vm_count, storage_per_vm * request.vm_count)
+
+        vapp = VApp(
+            name=request.vapp_name,
+            org=request.org,
+            requested_vms=request.vm_count,
+            requested_at=self.sim.now,
+            state=VAppState.DEPLOYING,
+            storage_charge_per_vm=storage_per_vm,
+        )
+        self.vapps.append(vapp)
+        self.metrics.counter("deploy_requests").add()
+        self.metrics.counter("vm_requests").add(request.vm_count)
+
+        workers = [
+            self.sim.spawn(
+                self._deploy_one(request, template, vapp, index, storage_per_vm),
+                name=f"deploy:{vapp.name}:{index}",
+            )
+            for index in range(request.vm_count)
+        ]
+        yield AllOf(self.sim, workers)
+
+        failures = 0
+        for worker in workers:
+            vm = worker.value
+            if vm is None:
+                failures += 1
+            else:
+                vapp.vms.append(vm)
+        if failures:
+            request.org.credit(failures, storage_per_vm * failures)
+            self.metrics.counter("vm_failures").add(failures)
+        vapp.deployed_at = self.sim.now
+        vapp.settle(failures)
+        self.metrics.latency("deploy_latency").record(vapp.deploy_latency)
+        self.metrics.counter(f"vapp_{vapp.state.value}").add()
+        return vapp
+
+    def _deploy_one(
+        self,
+        request: DeployRequest,
+        template,
+        vapp: VApp,
+        index: int,
+        storage_per_vm: float,
+    ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
+        """One member VM's deploy with re-placement retries.
+
+        Each attempt re-runs placement (the failed host is typically
+        avoided by the least-loaded policy once its ops fail fast) —
+        matching how self-service portals mask transient faults from
+        tenants. Returns the VM, or None after exhausting retries.
+        """
+        attempts = 1 + self.retries_per_vm
+        for attempt in range(attempts):
+            try:
+                host, datastore = self.placement.choose(
+                    self.cluster, storage_per_vm, memory_gb=template.memory_gb
+                )
+            except PlacementError:
+                self.metrics.counter("placement_failures").add()
+                return None
+            name = f"{vapp.name}-vm{index}"
+            if attempt:
+                name = f"{name}-r{attempt}"
+                self.metrics.counter("vm_retries").add()
+            operation = DeployFromTemplate(
+                template, name, host, datastore, linked=request.item.linked
+            )
+            process = self.server.submit(operation)
+            try:
+                task = yield process
+            except Exception:
+                continue
+            return task.result
+        return None
+
+    # -- delete -----------------------------------------------------------------
+
+    def delete(self, vapp: VApp) -> typing.Generator[typing.Any, typing.Any, VApp]:
+        """Process-style: power off and destroy every member VM.
+
+        Idempotent under concurrency: a delete that races an in-flight
+        delete of the same vApp is a no-op; deleting an already-deleted
+        vApp is a caller error.
+        """
+        if vapp.state == VAppState.DELETED:
+            raise ValueError(f"vApp {vapp.name!r} already deleted")
+        if vapp.state == VAppState.DELETING:
+            return vapp
+        vapp.state = VAppState.DELETING
+        for vm in vapp.vms:
+            if vm.power_state == PowerState.ON:
+                power_process = self.server.submit(PowerOff(vm))
+                yield _swallow(self.sim, power_process)
+            destroy_process = self.server.submit(DestroyVM(vm))
+            yield _swallow(self.sim, destroy_process)
+        vapp.org.credit(len(vapp.vms), vapp.storage_charge_per_vm * len(vapp.vms))
+        vapp.state = VAppState.DELETED
+        vapp.deleted_at = self.sim.now
+        vapp.vms.clear()
+        self.metrics.counter("deletes").add()
+        return vapp
+
+    # -- reporting ---------------------------------------------------------------
+
+    def running_vapps(self) -> list[VApp]:
+        return [v for v in self.vapps if v.state in (VAppState.RUNNING, VAppState.PARTIAL)]
+
+    def deploy_latency_p(self, fraction: float) -> float:
+        return self.metrics.latency("deploy_latency").percentile(fraction)
+
+
+def _swallow(sim, process):
+    """Wrap a process so a failure doesn't fail the AllOf (checked after)."""
+
+    def guard():
+        try:
+            yield process
+        except Exception:
+            pass
+
+    return sim.spawn(guard())

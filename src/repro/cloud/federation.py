@@ -1,0 +1,142 @@
+"""Federated self-service cloud: full tenant workflows over shards.
+
+R-F9 shows raw clone storms scale with shards; this module closes the
+loop for *complete tenant workflows*: a :class:`FederatedCloud` runs one
+CloudDirector per shard (each with its own cluster, templates, and
+catalog) behind an org-affinity router, so entire deploy/delete requests
+— placement, quota, customization, power — execute against an N-shard
+design.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cloud.catalog import Catalog, CatalogItem
+from repro.cloud.director import CloudDirector, DeployRequest
+from repro.cloud.placement import PlacementEngine
+from repro.cloud.tenancy import Organization
+from repro.cloud.vapp import VApp
+from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
+from repro.controlplane.shard import ShardedControlPlane
+from repro.datacenter.entities import Cluster, Datacenter, Datastore, Host, Network
+from repro.datacenter.templates import DEFAULT_SPECS, TemplateLibrary
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.stats import MetricsRegistry
+
+
+class FederatedCloud:
+    """N shard-local clouds behind a router with org affinity.
+
+    Each org is pinned to one shard (round-robin at first sight): tenant
+    state stays shard-local, which is how real federations avoid
+    cross-shard transactions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        shard_count: int,
+        hosts_per_shard: int = 8,
+        datastores_per_shard: int = 2,
+        datastore_capacity_gb: float = 50_000.0,
+        costs: ControlPlaneCosts = DEFAULT_COSTS,
+        config: ControlPlaneConfig | None = None,
+    ) -> None:
+        if shard_count < 1 or hosts_per_shard < 1 or datastores_per_shard < 1:
+            raise ValueError("shard/host/datastore counts must be >= 1")
+        self.sim = sim
+        self.plane = ShardedControlPlane(
+            sim, streams, shard_count=shard_count, costs=costs, config=config
+        )
+        self.metrics = MetricsRegistry(sim, prefix="federation")
+        self.directors: list[CloudDirector] = []
+        self._org_to_director: dict[str, CloudDirector] = {}
+        self._next_director = 0
+
+        host_index = 0
+        for shard in self.plane.shards:
+            inventory = shard.inventory
+            datacenter = inventory.create(Datacenter, name=f"dc-{shard.name}")
+            cluster = inventory.create(Cluster, name=f"cluster-{shard.name}")
+            datacenter.add_cluster(cluster)
+            network = inventory.create(Network, name=f"net-{shard.name}")
+            datastores = [
+                inventory.create(
+                    Datastore,
+                    name=f"lun-{shard.name}-{i}",
+                    capacity_gb=datastore_capacity_gb,
+                )
+                for i in range(datastores_per_shard)
+            ]
+            for _ in range(hosts_per_shard):
+                host = Host(entity_id=f"host-{host_index}", name=f"esx{host_index:03d}")
+                host_index += 1
+                inventory.register(host)
+                cluster.add_host(host)
+                for datastore in datastores:
+                    host.mount(datastore)
+                host.attach_network(network)
+                shard.adopt_host(host)
+                self.plane.register_routing(host, shard)
+            library = TemplateLibrary(inventory)
+            catalog = Catalog(f"catalog-{shard.name}")
+            for spec in DEFAULT_SPECS[:2]:
+                library.publish(spec, datastores[0])
+                catalog.add(CatalogItem(f"{spec.name}-linked", spec.name, linked=True))
+            self.directors.append(
+                CloudDirector(
+                    shard,
+                    cluster,
+                    library,
+                    catalog,
+                    placement=PlacementEngine(policy="least_loaded"),
+                )
+            )
+
+    # -- routing ------------------------------------------------------------
+
+    def director_for(self, org: Organization) -> CloudDirector:
+        """The org's home shard (assigned round-robin on first use)."""
+        if org.name not in self._org_to_director:
+            director = self.directors[self._next_director % len(self.directors)]
+            self._next_director += 1
+            self._org_to_director[org.name] = director
+            self.metrics.counter("orgs_homed").add()
+        return self._org_to_director[org.name]
+
+    def deploy(
+        self, org: Organization, item_name: str, vm_count: int, vapp_name: str
+    ) -> typing.Generator[typing.Any, typing.Any, VApp]:
+        """Process-style: route and execute one tenant deploy."""
+        director = self.director_for(org)
+        request = DeployRequest(
+            org=org,
+            item=director.catalog.get(item_name),
+            vm_count=vm_count,
+            vapp_name=vapp_name,
+        )
+        vapp = yield from director.deploy(request)
+        self.metrics.latency("deploy_latency").record(vapp.deploy_latency)
+        return vapp
+
+    def delete(self, vapp: VApp) -> typing.Generator[typing.Any, typing.Any, VApp]:
+        director = self.director_for(vapp.org)
+        return (yield from director.delete(vapp))
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.directors)
+
+    def deploy_latency_p(self, fraction: float) -> float:
+        return self.metrics.latency("deploy_latency").percentile(fraction)
+
+    def completed_tasks(self) -> int:
+        return self.plane.completed_tasks()
+
+    def utilization_snapshot(self, since: float = 0.0) -> dict[str, float]:
+        return self.plane.utilization_snapshot(since)

@@ -1,0 +1,59 @@
+"""vApps: the unit of self-service deployment (a group of VMs)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.datacenter.vm import VirtualMachine
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.tenancy import Organization
+
+
+class VAppState(enum.Enum):
+    REQUESTED = "requested"
+    DEPLOYING = "deploying"
+    RUNNING = "running"
+    PARTIAL = "partial"       # some member VMs failed to deploy
+    STOPPED = "stopped"
+    DELETING = "deleting"
+    DELETED = "deleted"
+    FAILED = "failed"
+
+
+@dataclasses.dataclass
+class VApp:
+    """A tenant-visible application: one or more VMs deployed together."""
+
+    name: str
+    org: "Organization"
+    requested_vms: int
+    state: VAppState = VAppState.REQUESTED
+    vms: list[VirtualMachine] = dataclasses.field(default_factory=list)
+    requested_at: float = 0.0
+    deployed_at: float | None = None
+    deleted_at: float | None = None
+    # Quota accounting: storage GB charged per member VM at deploy time.
+    storage_charge_per_vm: float = 0.0
+
+    @property
+    def deploy_latency(self) -> float:
+        """Request-to-running latency (the tenant-visible metric)."""
+        if self.deployed_at is None:
+            raise RuntimeError(f"vApp {self.name!r} not deployed")
+        return self.deployed_at - self.requested_at
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    def settle(self, failures: int) -> None:
+        """Move to the terminal deploy state given the failure count."""
+        if failures == 0:
+            self.state = VAppState.RUNNING
+        elif failures < self.requested_vms:
+            self.state = VAppState.PARTIAL
+        else:
+            self.state = VAppState.FAILED

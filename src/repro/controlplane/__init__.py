@@ -1,0 +1,47 @@
+"""The management control plane — the paper's subject.
+
+A :class:`ManagementServer` is a vCenter-style manager: it owns an
+inventory, a transactional database, an inventory lock manager, a task
+manager with concurrency limits, and one host-agent channel per hypervisor.
+Operations (:mod:`repro.operations`) run as simulated processes that consume
+these services; when linked clones remove the data-plane cost, contention
+for *these* resources is what caps provisioning throughput.
+
+Scale-out (:class:`ShardedControlPlane`) partitions hosts across multiple
+servers — the design response the paper's conclusions point at.
+"""
+
+from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
+from repro.controlplane.database import DatabaseModel
+from repro.controlplane.eventlog import (
+    AlarmManager,
+    AlarmRule,
+    EventLog,
+    ManagementEvent,
+)
+from repro.controlplane.host_agent import HostAgent, HostAgentError
+from repro.controlplane.locks import LockManager
+from repro.controlplane.server import ManagementServer
+from repro.controlplane.shard import ShardedControlPlane
+from repro.controlplane.stats_sync import StatsCollector
+from repro.controlplane.task_manager import Task, TaskManager, TaskState
+
+__all__ = [
+    "AlarmManager",
+    "AlarmRule",
+    "ControlPlaneConfig",
+    "EventLog",
+    "ManagementEvent",
+    "ControlPlaneCosts",
+    "DEFAULT_COSTS",
+    "DatabaseModel",
+    "HostAgent",
+    "HostAgentError",
+    "LockManager",
+    "ManagementServer",
+    "ShardedControlPlane",
+    "StatsCollector",
+    "Task",
+    "TaskManager",
+    "TaskState",
+]

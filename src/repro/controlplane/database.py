@@ -1,0 +1,92 @@
+"""The management database: a connection pool with per-row write costs.
+
+Every task transition and inventory mutation lands here. Under clone
+storms this pool is one of the three contended control-plane resources
+(with the CPU pool and host-agent slots); its utilization is a headline
+series in R-F5.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.sim.kernel import Simulator
+from repro.sim.random import bounded, lognormal_from_median
+from repro.sim.resources import Resource
+from repro.sim.stats import MetricsRegistry
+from repro.controlplane.costs import ControlPlaneCosts
+
+
+class DatabaseModel:
+    """A fixed-size connection pool executing timed reads and writes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: ControlPlaneCosts,
+        connections: int,
+        rng: random.Random,
+        batching: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.batching = batching
+        self.rng = rng
+        self.metrics = metrics or MetricsRegistry(sim, prefix="db")
+        self.pool = Resource(sim, capacity=connections, name="db-connections")
+        self._busy_seconds = 0.0
+        self._slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade the database (failure/overload injection). 1.0 = healthy."""
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1.0")
+        self._slowdown = factor
+
+    def _service_time(self, median: float) -> float:
+        draw = lognormal_from_median(self.rng, median, self.costs.sigma)
+        return bounded(draw, median * 0.25, median * 10.0) * self._slowdown
+
+    def write(self, rows: int = 1) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: write ``rows`` row-groups; returns elapsed seconds."""
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        per_row = self.costs.db_write_s
+        if self.batching:
+            per_row /= self.costs.db_batch_factor
+        return (yield from self._execute(per_row * rows, "writes", rows))
+
+    def read(self, rows: int = 1) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: read ``rows`` row-groups; returns elapsed seconds."""
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        return (yield from self._execute(self.costs.db_read_s * rows, "reads", rows))
+
+    def _execute(
+        self, median: float, kind: str, rows: int
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
+        start = self.sim.now
+        request = self.pool.request()
+        yield request
+        service = self._service_time(median)
+        try:
+            yield self.sim.timeout(service)
+        finally:
+            self.pool.release(request)
+        self._busy_seconds += service
+        self.metrics.counter(kind).add(rows)
+        self.metrics.latency(f"{kind}_latency").record(self.sim.now - start)
+        return self.sim.now - start
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of the pool busy over [since, now]."""
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return min(1.0, self._busy_seconds / (span * self.pool.capacity))
+
+    @property
+    def queue_depth(self) -> int:
+        return self.pool.queue_depth

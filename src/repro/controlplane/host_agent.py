@@ -1,0 +1,97 @@
+"""The host agent (hostd) channel: per-host operation slots and call timing.
+
+Each hypervisor host runs a management agent with a bounded number of
+in-flight management operations (~8 in the vSphere era). Management-server
+operations fan calls out to these agents; a disconnected or wedged agent
+surfaces as a call timeout.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.datacenter.entities import Host
+from repro.sim.kernel import Simulator
+from repro.sim.random import bounded, lognormal_from_median
+from repro.sim.resources import Resource
+from repro.sim.stats import MetricsRegistry
+from repro.controlplane.costs import ControlPlaneCosts
+
+
+class HostAgentError(Exception):
+    """A host-agent call failed (timeout, injected fault, disconnection)."""
+
+
+class HostAgent:
+    """The management server's channel to one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        costs: ControlPlaneCosts,
+        rng: random.Random,
+        op_slots: int = 8,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.costs = costs
+        self.rng = rng
+        self.slots = Resource(sim, capacity=op_slots, name=f"hostd:{host.name}")
+        self.metrics = metrics or MetricsRegistry(sim, prefix=f"hostd.{host.entity_id}")
+        self._fail_next: list[Exception] = []
+        self._busy_seconds = 0.0
+
+    def inject_failure(self, error: Exception | None = None) -> None:
+        """Fail the next call (failure-injection tests and R-T3 rows)."""
+        self._fail_next.append(error or HostAgentError(f"injected fault on {self.host.name}"))
+
+    def call(
+        self, kind: str, median_s: float
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: one agent call; returns elapsed seconds.
+
+        Raises :class:`HostAgentError` if the host is unusable, a fault was
+        injected, or service exceeds the configured timeout.
+        """
+        if not self.host.is_usable:
+            raise HostAgentError(f"host {self.host.name} is {self.host.state.value}")
+        if self._fail_next:
+            raise self._fail_next.pop(0)
+        start = self.sim.now
+        request = self.slots.request()
+        yield request
+        service = bounded(
+            lognormal_from_median(self.rng, median_s, self.costs.sigma),
+            median_s * 0.25,
+            median_s * 10.0,
+        )
+        try:
+            if service > self.costs.host_call_timeout_s:
+                # The call would exceed the timeout: the server gives up at
+                # the deadline and surfaces an error.
+                yield self.sim.timeout(self.costs.host_call_timeout_s)
+                self.metrics.counter("timeouts").add()
+                raise HostAgentError(
+                    f"{kind} on {self.host.name} timed out after "
+                    f"{self.costs.host_call_timeout_s:.0f}s"
+                )
+            yield self.sim.timeout(service)
+        finally:
+            self.slots.release(request)
+        self._busy_seconds += service
+        self.metrics.counter("calls").add()
+        self.metrics.latency("call_latency").record(self.sim.now - start)
+        return self.sim.now - start
+
+    @property
+    def queue_depth(self) -> int:
+        return self.slots.queue_depth
+
+    def utilization(self, since: float = 0.0) -> float:
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return min(1.0, self._busy_seconds / (span * self.slots.capacity))

@@ -1,0 +1,230 @@
+"""The management server: composition root of the control plane.
+
+One instance = one vCenter-style server managing an inventory of hosts.
+Operations are simulated processes that consume the server's four contended
+resources:
+
+1. CPU workers (request validation, placement, config generation);
+2. the database connection pool;
+3. the inventory lock manager;
+4. per-host agent slots.
+
+plus the storage data plane (copy scheduler) for byte-moving phases.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.entities import Datastore, Host
+from repro.datacenter.inventory import Inventory
+from repro.sim.kernel import Process, Simulator
+from repro.sim.random import RandomStreams, bounded, lognormal_from_median
+from repro.sim.resources import Resource
+from repro.sim.stats import MetricsRegistry
+from repro.storage.copy_engine import CopyEngine
+from repro.storage.scheduler import CopyScheduler
+from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
+from repro.controlplane.database import DatabaseModel
+from repro.controlplane.host_agent import HostAgent
+from repro.controlplane.locks import LockManager
+from repro.controlplane.task_manager import Task, TaskManager
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.operations.base import Operation
+
+
+class ManagementServer:
+    """A vCenter-style management server over a private inventory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        costs: ControlPlaneCosts = DEFAULT_COSTS,
+        config: ControlPlaneConfig | None = None,
+        name: str = "vc-1",
+        storage_capacity_bps: float | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.costs = costs
+        self.config = config or ControlPlaneConfig()
+        self.streams = streams
+        self.metrics = MetricsRegistry(sim, prefix=name)
+        self.inventory = Inventory()
+
+        self.database = DatabaseModel(
+            sim,
+            costs,
+            connections=self.config.db_connections,
+            rng=streams.stream(f"{name}:db"),
+            batching=self.config.db_batching,
+            metrics=MetricsRegistry(sim, prefix=f"{name}.db"),
+        )
+        self.locks = LockManager(
+            sim,
+            granularity=self.config.lock_granularity,
+            metrics=MetricsRegistry(sim, prefix=f"{name}.locks"),
+        )
+        self.tasks = TaskManager(
+            sim,
+            self.database,
+            max_inflight=self.config.max_inflight_tasks,
+            per_type_limits=self.config.per_type_limits,
+            metrics=MetricsRegistry(sim, prefix=f"{name}.tasks"),
+        )
+        self.cpu = Resource(sim, capacity=self.config.cpu_workers, name=f"{name}-cpu")
+        self._cpu_rng = streams.stream(f"{name}:cpu")
+        self._cpu_busy = 0.0
+
+        engine_kwargs = {}
+        if storage_capacity_bps is not None:
+            engine_kwargs["default_capacity_bps"] = storage_capacity_bps
+        self.copy_engine = CopyEngine(
+            sim, metrics=MetricsRegistry(sim, prefix=f"{name}.copy"), **engine_kwargs
+        )
+        self.copy_scheduler = CopyScheduler(
+            sim,
+            self.copy_engine,
+            slots_per_datastore=self.config.copy_slots_per_datastore,
+            metrics=MetricsRegistry(sim, prefix=f"{name}.copysched"),
+        )
+        self._agents: dict[str, HostAgent] = {}
+        self.event_log = None
+        self.started_at = sim.now
+
+    def enable_event_logging(
+        self,
+        flush_interval_s: float = 10.0,
+        rows_per_event: float = 1.0,
+        until: float | None = None,
+    ):
+        """Attach an event log; task completions start posting to it.
+
+        Returns the :class:`~repro.controlplane.eventlog.EventLog`. The
+        flusher is started immediately (bounded by ``until`` if given).
+        """
+        from repro.controlplane.eventlog import EventLog
+
+        if self.event_log is not None:
+            raise RuntimeError("event logging already enabled")
+        self.event_log = EventLog(
+            self.sim,
+            self.database,
+            flush_interval_s=flush_interval_s,
+            rows_per_event=rows_per_event,
+        )
+        self.tasks.event_log = self.event_log
+        self.event_log.start(until=until)
+        return self.event_log
+
+    # -- host management -----------------------------------------------------
+
+    def adopt_host(self, host: Host) -> HostAgent:
+        """Register an (already-inventoried) host's agent channel."""
+        if host.entity_id in self._agents:
+            raise ValueError(f"host {host.name!r} already adopted by {self.name}")
+        agent = HostAgent(
+            self.sim,
+            host,
+            self.costs,
+            rng=self.streams.stream(f"{self.name}:hostd:{host.entity_id}"),
+            op_slots=self.config.per_host_op_slots,
+            metrics=MetricsRegistry(self.sim, prefix=f"{self.name}.hostd.{host.entity_id}"),
+        )
+        self._agents[host.entity_id] = agent
+        return agent
+
+    def agent(self, host: Host) -> HostAgent:
+        try:
+            return self._agents[host.entity_id]
+        except KeyError:
+            raise KeyError(f"host {host.name!r} not managed by {self.name}") from None
+
+    @property
+    def hosts(self) -> list[Host]:
+        return [agent.host for agent in self._agents.values()]
+
+    @property
+    def agents(self) -> list[HostAgent]:
+        return list(self._agents.values())
+
+    # -- CPU model -------------------------------------------------------------
+
+    def cpu_work(self, median_s: float) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: occupy one CPU worker for a drawn service time."""
+        start = self.sim.now
+        request = self.cpu.request()
+        yield request
+        service = bounded(
+            lognormal_from_median(self._cpu_rng, median_s, self.costs.sigma),
+            median_s * 0.25,
+            median_s * 10.0,
+        )
+        try:
+            yield self.sim.timeout(service)
+        finally:
+            self.cpu.release(request)
+        self._cpu_busy += service
+        return self.sim.now - start
+
+    def cpu_utilization(self, since: float = 0.0) -> float:
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return min(1.0, self._cpu_busy / (span * self.cpu.capacity))
+
+    # -- operation submission ------------------------------------------------------
+
+    def submit(self, operation: "Operation", priority: float = 5.0) -> Process:
+        """Run an operation as a task; returns its process event.
+
+        The process's value is the completed :class:`Task`; an operation
+        failure fails the process with the underlying exception.
+        """
+
+        def lifecycle() -> typing.Generator[typing.Any, typing.Any, Task]:
+            holder: dict[str, Task] = {}
+
+            def body(task: Task) -> typing.Generator:
+                holder["task"] = task
+                yield from operation.run(self, task)
+
+            yield from self.tasks.run_task(
+                operation.op_type.value, body, priority=priority
+            )
+            return holder["task"]
+
+        return self.sim.spawn(lifecycle(), name=f"{self.name}:{operation.op_type.value}")
+
+    def execute(self, operation: "Operation", priority: float = 5.0) -> Process:
+        """Alias of :meth:`submit` (reads better at call sites that wait)."""
+        return self.submit(operation, priority=priority)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def utilization_snapshot(self, since: float = 0.0) -> dict[str, float]:
+        """Utilization of each contended resource over [since, now]."""
+        agents = self.agents
+        hostd = (
+            sum(agent.utilization(since) for agent in agents) / len(agents)
+            if agents
+            else 0.0
+        )
+        return {
+            "cpu": self.cpu_utilization(since),
+            "db": self.database.utilization(since),
+            "hostd_mean": hostd,
+            "lock_wait_mean_s": self.locks.contention(),
+            "task_queue_mean": self.tasks.metrics.gauge("queue_depth").time_average(since),
+        }
+
+    def bottleneck(self, since: float = 0.0) -> str:
+        """Name of the most-utilized control-plane resource."""
+        snapshot = self.utilization_snapshot(since)
+        candidates = {k: snapshot[k] for k in ("cpu", "db", "hostd_mean")}
+        return max(candidates, key=candidates.get)
+
+    def datastores(self) -> list[Datastore]:
+        return self.inventory.all(Datastore)

@@ -1,0 +1,172 @@
+"""The task manager: admission, dispatch, and lifecycle of management tasks.
+
+Every operation becomes a Task: created (DB write), queued behind the
+datacenter-wide in-flight limit, executed, and committed (DB write). The
+task queue depth over time is R-F7; per-type task latencies feed R-F2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import PriorityResource
+from repro.sim.stats import MetricsRegistry
+from repro.controlplane.database import DatabaseModel
+
+
+class TaskState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCESS = "success"
+    ERROR = "error"
+
+
+@dataclasses.dataclass
+class Task:
+    """One management task's lifecycle record."""
+
+    task_id: int
+    op_type: str
+    submitted_at: float
+    priority: float = 5.0
+    state: TaskState = TaskState.QUEUED
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    # Per-phase attribution filled in by the operation: (phase, plane, seconds).
+    phases: list[tuple[str, str, float]] = dataclasses.field(default_factory=list)
+    # Operation-specific payload (e.g. the created VM for clones).
+    result: typing.Any = None
+
+    @property
+    def queue_wait(self) -> float:
+        if self.started_at is None:
+            raise RuntimeError("task not started")
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency(self) -> float:
+        if self.finished_at is None:
+            raise RuntimeError("task not finished")
+        return self.finished_at - self.submitted_at
+
+    def plane_seconds(self, plane: str) -> float:
+        """Total attributed seconds on one plane ('control' or 'data')."""
+        return sum(seconds for _, p, seconds in self.phases if p == plane)
+
+
+class TaskManager:
+    """Admits tasks under the in-flight limit and records their lifecycle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        database: DatabaseModel,
+        max_inflight: int,
+        per_type_limits: typing.Mapping[str, int] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.sim = sim
+        self.database = database
+        self.dispatch = PriorityResource(sim, capacity=max_inflight, name="task-dispatch")
+        self._type_limits: dict[str, PriorityResource] = {
+            op_type: PriorityResource(sim, capacity=limit, name=f"limit:{op_type}")
+            for op_type, limit in (per_type_limits or {}).items()
+        }
+        self.metrics = metrics or MetricsRegistry(sim, prefix="tasks")
+        self.tasks: list[Task] = []
+        self._next_id = 0
+        self._depth = self.metrics.gauge("queue_depth")
+        # Optional event sink (see controlplane.eventlog); completion posts
+        # one event per task, errors at elevated severity.
+        self.event_log = None
+
+    def run_task(
+        self,
+        op_type: str,
+        body: typing.Callable[[Task], typing.Generator],
+        priority: float = 5.0,
+    ) -> typing.Generator[typing.Any, typing.Any, Task]:
+        """Process-style: run ``body(task)`` under the task lifecycle.
+
+        The body is a process generator; its phases should be appended to
+        ``task.phases``. Failures mark the task ERROR and re-raise.
+        """
+        self._next_id += 1
+        task = Task(
+            task_id=self._next_id,
+            op_type=op_type,
+            submitted_at=self.sim.now,
+            priority=priority,
+        )
+        self.tasks.append(task)
+        # Task-row insert happens before dispatch: even rejected/queued work
+        # costs the database.
+        yield from self.database.write(rows=1)
+        self._depth.add(1)
+        # Per-category cap first (if configured), then the global limit —
+        # matching the real dispatch order (a capped clone can't consume a
+        # datacenter-wide slot while waiting on its category).
+        type_slot = None
+        type_pool = self._type_limits.get(op_type)
+        if type_pool is not None:
+            type_slot = type_pool.request(priority=priority)
+            yield type_slot
+        slot = self.dispatch.request(priority=priority)
+        yield slot
+        self._depth.add(-1)
+        task.state = TaskState.RUNNING
+        task.started_at = self.sim.now
+        try:
+            yield from body(task)
+        except Exception as error:
+            task.state = TaskState.ERROR
+            task.error = f"{type(error).__name__}: {error}"
+            raise
+        else:
+            task.state = TaskState.SUCCESS
+        finally:
+            self.dispatch.release(slot)
+            if type_slot is not None:
+                type_pool.release(type_slot)
+            task.finished_at = self.sim.now
+            # Completion row: state transition + result payload.
+            yield from self.database.write(rows=1)
+            self.metrics.counter(f"completed.{task.op_type}").add()
+            self.metrics.latency(f"latency.{task.op_type}").record(task.latency)
+            self.metrics.latency("latency.all").record(task.latency)
+            if self.event_log is not None:
+                severity = "info" if task.state == TaskState.SUCCESS else "warning"
+                self.event_log.post(
+                    f"task.{task.op_type}",
+                    f"task-{task.task_id}",
+                    severity=severity,
+                    message=task.error or "",
+                )
+
+    # -- reporting ----------------------------------------------------------
+
+    def completed(self, op_type: str | None = None) -> list[Task]:
+        done = [t for t in self.tasks if t.state in (TaskState.SUCCESS, TaskState.ERROR)]
+        if op_type is None:
+            return done
+        return [t for t in done if t.op_type == op_type]
+
+    def succeeded(self, op_type: str | None = None) -> list[Task]:
+        return [t for t in self.completed(op_type) if t.state == TaskState.SUCCESS]
+
+    def failed(self) -> list[Task]:
+        return [t for t in self.tasks if t.state == TaskState.ERROR]
+
+    @property
+    def queue_depth(self) -> float:
+        return self._depth.value
+
+    def max_queue_depth(self) -> float:
+        return self._depth.maximum
+
+    def queue_depth_series(self) -> list[tuple[float, float]]:
+        return self._depth.series()

@@ -1,0 +1,26 @@
+"""Public API: scenarios, the profiler, and the experiment registry.
+
+Start here::
+
+    from repro import CloudManagementProfiler, profiles
+
+    profiler = CloudManagementProfiler(profiles.CLOUD_A, seed=7)
+    result = profiler.run(duration=6 * 3600.0)
+    print(result.report())
+"""
+
+from repro.core.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.core.profiler import CloudManagementProfiler, ProfileResult
+from repro.core.scenario import Scenario, ScenarioResult
+from repro.core.sensitivity import sweep
+
+__all__ = [
+    "CloudManagementProfiler",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ProfileResult",
+    "Scenario",
+    "ScenarioResult",
+    "run_experiment",
+    "sweep",
+]

@@ -1,0 +1,89 @@
+"""Sensitivity sweeps: how headline metrics respond to any model constant.
+
+A reproduction whose conclusions hinge on calibration guesses should make
+probing those guesses one line. ``sweep()`` varies a single
+``costs.<field>`` or ``config.<field>`` across values and reruns the
+canonical linked-clone storm, reporting throughput and latency per value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.controlplane.costs import (
+    ControlPlaneConfig,
+    ControlPlaneCosts,
+    DEFAULT_COSTS,
+)
+from repro.core.experiments import ExperimentResult, StormRig
+
+
+def _apply(parameter: str, value: typing.Any) -> tuple[ControlPlaneCosts, ControlPlaneConfig]:
+    """Build (costs, config) with ``parameter`` ("costs.x"/"config.x") set."""
+    try:
+        namespace, field = parameter.split(".", 1)
+    except ValueError:
+        raise ValueError(
+            f"parameter must look like 'costs.<field>' or 'config.<field>', "
+            f"got {parameter!r}"
+        ) from None
+    costs = DEFAULT_COSTS
+    config = ControlPlaneConfig()
+    if namespace == "costs":
+        if not hasattr(costs, field):
+            raise ValueError(f"unknown costs field {field!r}")
+        costs = dataclasses.replace(costs, **{field: value})
+    elif namespace == "config":
+        if not hasattr(config, field):
+            raise ValueError(f"unknown config field {field!r}")
+        config = dataclasses.replace(config, **{field: value})
+    else:
+        raise ValueError(f"unknown namespace {namespace!r} (use costs/config)")
+    return costs, config
+
+
+def sweep(
+    parameter: str,
+    values: typing.Sequence[typing.Any],
+    seed: int = 0,
+    total: int = 64,
+    concurrency: int = 32,
+    linked: bool = True,
+    hosts: int = 16,
+) -> ExperimentResult:
+    """Sweep one constant over ``values`` under the canonical clone storm."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    rows = []
+    series = []
+    baseline_tph: float | None = None
+    for value in values:
+        costs, config = _apply(parameter, value)
+        rig = StormRig(seed=seed, hosts=hosts, datastores=4, costs=costs, config=config)
+        outcome = rig.closed_loop_storm(total, concurrency, linked)
+        tph = outcome["throughput_per_hour"]
+        if baseline_tph is None:
+            baseline_tph = tph
+        rows.append(
+            [
+                value,
+                f"{tph:.0f}",
+                f"{tph / baseline_tph:.2f}x",
+                f"{outcome['latency_p50']:.1f}",
+                rig.server.bottleneck(),
+            ]
+        )
+        try:
+            series.append((float(value), tph))
+        except (TypeError, ValueError):
+            pass
+    mode = "linked" if linked else "full"
+    return ExperimentResult(
+        exp_id=f"SWEEP:{parameter}",
+        title=f"{mode}-clone storm sensitivity to {parameter}",
+        headers=[parameter, "clones/hour", "vs first", "p50 (s)", "bottleneck"],
+        rows=rows,
+        series={"clones/hour": series} if series else {},
+        notes=f"storm: {total} clones at concurrency {concurrency}, {hosts} hosts",
+    )

@@ -1,0 +1,54 @@
+"""Management operations: the verbs of the control plane.
+
+Every operation decomposes into *phases*, each attributed to the control
+plane (CPU, database, locks, host-agent calls) or the data plane (byte
+copies, memory transfer). Phase attribution is what lets the analysis
+pipeline show the paper's pivot: linked clones delete the data-plane
+phases and leave the control-plane toll intact.
+"""
+
+from repro.operations.base import Operation, OperationError, OperationType, phase
+from repro.operations.maintenance import (
+    EnterMaintenance,
+    EvacuateDatastore,
+    ExitMaintenance,
+)
+from repro.operations.lifecycle import (
+    CreateSnapshot,
+    DeleteSnapshot,
+    DestroyVM,
+    ReconfigureVM,
+)
+from repro.operations.migration import MigrateVM, StorageMigrateVM
+from repro.operations.power import PowerOff, PowerOn
+from repro.operations.provisioning import CloneVM, DeployFromTemplate
+from repro.operations.reconfiguration import (
+    AddDatastore,
+    AddHost,
+    NetworkReconfig,
+    RescanDatastore,
+)
+
+__all__ = [
+    "AddDatastore",
+    "AddHost",
+    "CloneVM",
+    "CreateSnapshot",
+    "DeleteSnapshot",
+    "DeployFromTemplate",
+    "DestroyVM",
+    "EnterMaintenance",
+    "EvacuateDatastore",
+    "ExitMaintenance",
+    "MigrateVM",
+    "NetworkReconfig",
+    "Operation",
+    "OperationError",
+    "OperationType",
+    "PowerOff",
+    "PowerOn",
+    "ReconfigureVM",
+    "RescanDatastore",
+    "StorageMigrateVM",
+    "phase",
+]

@@ -1,0 +1,110 @@
+"""Operation base class, taxonomy, and phase-attribution helper."""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+CONTROL = "control"
+DATA = "data"
+
+
+class OperationType(enum.Enum):
+    """Taxonomy used by workload mixes and the characterization pipeline."""
+
+    CLONE_FULL = "clone_full"
+    CLONE_LINKED = "clone_linked"
+    DEPLOY = "deploy"
+    POWER_ON = "power_on"
+    POWER_OFF = "power_off"
+    RECONFIGURE = "reconfigure"
+    SNAPSHOT_CREATE = "snapshot_create"
+    SNAPSHOT_DELETE = "snapshot_delete"
+    MIGRATE = "migrate"
+    STORAGE_MIGRATE = "storage_migrate"
+    DESTROY = "destroy"
+    RESCAN_DATASTORE = "rescan_datastore"
+    ADD_HOST = "add_host"
+    ADD_DATASTORE = "add_datastore"
+    NETWORK_RECONFIG = "network_reconfig"
+    ENTER_MAINTENANCE = "enter_maintenance"
+    EXIT_MAINTENANCE = "exit_maintenance"
+    EVACUATE_DATASTORE = "evacuate_datastore"
+
+    @classmethod
+    def provisioning(cls) -> set["OperationType"]:
+        """Operations that create or retire capacity (cloud churn)."""
+        return {cls.CLONE_FULL, cls.CLONE_LINKED, cls.DEPLOY, cls.DESTROY}
+
+    @classmethod
+    def reconfiguration(cls) -> set["OperationType"]:
+        """Infrastructure reconfiguration — the 'previously infrequent' ops."""
+        return {
+            cls.RESCAN_DATASTORE,
+            cls.ADD_HOST,
+            cls.ADD_DATASTORE,
+            cls.NETWORK_RECONFIG,
+            cls.ENTER_MAINTENANCE,
+            cls.EXIT_MAINTENANCE,
+            cls.EVACUATE_DATASTORE,
+        }
+
+
+class OperationError(Exception):
+    """An operation failed for a modeled reason (not a simulator bug)."""
+
+
+def phase(
+    task: "Task",
+    name: str,
+    plane: str,
+    sim_now: typing.Callable[[], float],
+    body: typing.Generator,
+) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
+    """Run a process-style ``body`` and attribute its wall time to a phase.
+
+    Usage inside an operation::
+
+        result = yield from phase(task, "validate", CONTROL, lambda: server.sim.now,
+                                  server.cpu_work(costs.api_validate_s))
+    """
+    if plane not in (CONTROL, DATA):
+        raise ValueError(f"unknown plane {plane!r}")
+    start = sim_now()
+    result = yield from body
+    task.phases.append((name, plane, sim_now() - start))
+    return result
+
+
+class Operation:
+    """Base class: subclasses implement :meth:`run` as a process generator.
+
+    ``run`` executes inside a task lifecycle (see
+    :meth:`repro.controlplane.server.ManagementServer.submit`); it should
+    append to ``task.phases`` via :func:`phase` and set ``task.result``.
+    """
+
+    op_type: OperationType
+
+    def run(
+        self, server: "ManagementServer", task: "Task"
+    ) -> typing.Generator[typing.Any, typing.Any, None]:
+        raise NotImplementedError
+
+    # Convenience wrapper binding the common arguments of :func:`phase`.
+    def timed(
+        self,
+        server: "ManagementServer",
+        task: "Task",
+        name: str,
+        plane: str,
+        body: typing.Generator,
+    ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
+        return (yield from phase(task, name, plane, lambda: server.sim.now, body))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.op_type.value}>"

@@ -1,0 +1,232 @@
+"""VM lifecycle operations: reconfigure, snapshot create/delete, destroy.
+
+Snapshot deletion is the sleeper data-plane cost: removing a snapshot
+consolidates delta links, copying their contents — which is why clouds
+that lean on linked clones must garbage-collect chains deliberately.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.vm import PowerState, VirtualMachine
+from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
+from repro.storage.linked_clone import merge_leaf_into_parent
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+class ReconfigureVM(Operation):
+    """Change a VM's virtual hardware (vCPU/memory/NIC edits)."""
+
+    op_type = OperationType.RECONFIGURE
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        vcpus: int | None = None,
+        memory_gb: float | None = None,
+    ) -> None:
+        self.vm = vm
+        self.vcpus = vcpus
+        self.memory_gb = memory_gb
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            yield from self.timed(
+                server, task, "config_gen", CONTROL, server.cpu_work(costs.config_gen_s)
+            )
+            agent = server.agent(self.vm.host)
+            yield from self.timed(
+                server,
+                task,
+                "reconfigure",
+                CONTROL,
+                agent.call("reconfigure", costs.host_reconfigure_s),
+            )
+            if self.vcpus is not None:
+                self.vm.vcpus = self.vcpus
+            if self.memory_gb is not None:
+                self.vm.memory_gb = self.memory_gb
+            yield from self.timed(
+                server, task, "commit_db", CONTROL, server.database.write(rows=1)
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)
+
+
+class CreateSnapshot(Operation):
+    """Snapshot a VM: freeze leaves, add deltas, record snapshot rows."""
+
+    op_type = OperationType.SNAPSHOT_CREATE
+
+    def __init__(self, vm: VirtualMachine, snapshot_name: str = "snap") -> None:
+        self.vm = vm
+        self.snapshot_name = snapshot_name
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            agent = server.agent(self.vm.host)
+            yield from self.timed(
+                server,
+                task,
+                "snapshot",
+                CONTROL,
+                agent.call("snapshot", costs.host_snapshot_s),
+            )
+            snapshot = self.vm.take_snapshot(self.snapshot_name)
+            yield from self.timed(
+                server, task, "snapshot_db", CONTROL, server.database.write(rows=2)
+            )
+            task.result = snapshot
+        finally:
+            scope.release(grants)
+
+
+class DeleteSnapshot(Operation):
+    """Delete the most recent snapshot, merging the leaf delta down.
+
+    The data-plane cost is the *delta contents* — everything the guest
+    wrote since the snapshot (``written_gb``, drawn by the caller) — not
+    the whole logical disk. Merging never touches shared linked-clone
+    anchors, so siblings are unaffected.
+    """
+
+    op_type = OperationType.SNAPSHOT_DELETE
+
+    def __init__(self, vm: VirtualMachine, written_gb: float = 2.0) -> None:
+        if written_gb < 0:
+            raise OperationError("written_gb must be non-negative")
+        self.vm = vm
+        self.written_gb = written_gb
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        if not self.vm.snapshots:
+            raise OperationError(f"VM {self.vm.name!r} has no snapshots")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            if not self.vm.snapshots:
+                raise OperationError(
+                    f"VM {self.vm.name!r} lost its snapshots while queued"
+                )
+            agent = server.agent(self.vm.host)
+            for index, disk in enumerate(self.vm.disks):
+                parent = disk.backing.parent
+                if parent is None or parent.children != 1:
+                    continue
+                # Guest writes since the snapshot accumulated in the leaf.
+                disk.datastore.allocate(self.written_gb)
+                disk.backing.size_gb += self.written_gb
+                moved_gb = disk.backing.size_gb
+                if moved_gb > 0:
+                    yield from self.timed(
+                        server,
+                        task,
+                        f"merge_copy_{index}",
+                        DATA,
+                        server.copy_scheduler.scheduled_copy(
+                            disk.datastore, disk.datastore, moved_gb
+                        ),
+                    )
+                    # The copy engine charges for a new file; a merge lands
+                    # in the parent, whose growth merge_leaf_into_parent
+                    # accounts — release the engine's transient allocation.
+                    disk.datastore.reclaim(moved_gb)
+                merge_leaf_into_parent(disk)
+            yield from self.timed(
+                server,
+                task,
+                "consolidate_host",
+                CONTROL,
+                agent.call("reconfigure", costs.host_reconfigure_s),
+            )
+            self.vm.snapshots.pop()
+            yield from self.timed(
+                server, task, "snapshot_db", CONTROL, server.database.write(rows=2)
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)
+
+
+class DestroyVM(Operation):
+    """Destroy a VM: power check, host delete, space reclaim, unregister."""
+
+    op_type = OperationType.DESTROY
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.power_state == PowerState.ON:
+            raise OperationError(f"VM {self.vm.name!r} is powered on")
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            if self.vm.power_state == PowerState.ON:
+                raise OperationError(f"VM {self.vm.name!r} was powered on while queued")
+            agent = server.agent(self.vm.host)
+            yield from self.timed(
+                server,
+                task,
+                "destroy_host",
+                CONTROL,
+                agent.call("destroy", costs.host_destroy_s),
+            )
+            # Reclaim only backings unique to this VM (children == 0 leaves);
+            # shared linked-clone parents stay until their last child dies.
+            for disk in self.vm.disks:
+                backing = disk.backing
+                if backing.children == 0:
+                    backing.datastore.reclaim(backing.size_gb)
+                    if backing.parent is not None:
+                        backing.parent.children -= 1
+            self.vm.evacuate()
+            self.vm.destroyed_at = server.sim.now
+            server.inventory.unregister(self.vm)
+            yield from self.timed(
+                server, task, "unregister_db", CONTROL, server.database.write(rows=2)
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)

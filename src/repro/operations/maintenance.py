@@ -1,0 +1,161 @@
+"""Host maintenance mode: the evacuate-then-service workflow.
+
+Entering maintenance live-migrates every powered-on VM off the host (a
+burst of vMotions through the control plane) and cold-relocates the rest,
+then fences the host. Clouds patch hosts on a rolling cadence, so at
+cloud scale this previously occasional workflow becomes routine — the
+same dynamic as the paper's claim 4.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.entities import Host, HostState
+from repro.datacenter.vm import PowerState
+from repro.operations.base import CONTROL, Operation, OperationError, OperationType
+from repro.operations.migration import MigrateVM
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+class EnterMaintenance(Operation):
+    """Evacuate a host and place it in maintenance mode.
+
+    Powered-on VMs are live-migrated round-robin onto the other usable
+    hosts (each migration is its own management task, dispatched through
+    the normal pipeline); powered-off VMs are re-registered (cheap cold
+    relocation). Fails if no evacuation target exists.
+    """
+
+    op_type = OperationType.ENTER_MAINTENANCE
+
+    def __init__(self, host: Host, targets: typing.Sequence[Host]) -> None:
+        self.host = host
+        self.targets = [t for t in targets if t is not host]
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.host.state != HostState.CONNECTED:
+            raise OperationError(f"host {self.host.name!r} is {self.host.state.value}")
+        usable_targets = [t for t in self.targets if t.is_usable]
+        if self.host.vms and not usable_targets:
+            raise OperationError(f"no evacuation target for {self.host.name!r}")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        victims = sorted(self.host.vms, key=lambda vm: vm.entity_id)
+        migrations = []
+        for index, vm in enumerate(victims):
+            target = usable_targets[index % len(usable_targets)]
+            if vm.power_state == PowerState.ON:
+                migrations.append(server.submit(MigrateVM(vm, target), priority=3.0))
+            else:
+                # Cold relocation: unregister/register, no data movement.
+                vm.place_on(target)
+        for process in migrations:
+            try:
+                yield process
+            except Exception:
+                raise OperationError(
+                    f"evacuation of {self.host.name!r} failed mid-way"
+                ) from None
+        if self.host.vms:
+            # Anything still here is powered-off stragglers relocated above;
+            # a populated host cannot be fenced.
+            raise OperationError(f"host {self.host.name!r} still has VMs")
+        self.host.state = HostState.MAINTENANCE
+        yield from self.timed(
+            server, task, "fence_db", CONTROL, server.database.write(rows=1)
+        )
+        task.result = self.host
+
+
+class EvacuateDatastore(Operation):
+    """Storage-migrate every VM off a datastore (LUN retirement).
+
+    The storage-side analogue of host maintenance: before an array LUN is
+    retired or re-carved, everything on it moves elsewhere. Each move is a
+    full storage vMotion — the data plane pays per-VM logical bytes, and
+    the control plane pays the usual per-op toll times the datastore's VM
+    population (which cloud churn keeps large).
+    """
+
+    op_type = OperationType.EVACUATE_DATASTORE
+
+    def __init__(self, datastore, targets: typing.Sequence) -> None:
+        self.datastore = datastore
+        self.targets = [t for t in targets if t is not datastore]
+
+    def _resident_vms(self, server: "ManagementServer"):
+        from repro.datacenter.vm import VirtualMachine
+
+        residents = []
+        for vm in server.inventory.all(VirtualMachine):
+            if vm.host is None:
+                continue
+            if any(disk.datastore is self.datastore for disk in vm.disks):
+                residents.append(vm)
+        return sorted(residents, key=lambda vm: vm.entity_id)
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        from repro.operations.migration import StorageMigrateVM
+
+        costs = server.costs
+        if not self.targets:
+            raise OperationError("no target datastores for evacuation")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        residents = self._resident_vms(server)
+        moved = 0
+        for index, vm in enumerate(residents):
+            target = self.targets[index % len(self.targets)]
+            if target.free_gb < vm.total_disk_gb:
+                raise OperationError(
+                    f"target {target.name!r} lacks space for {vm.name!r}"
+                )
+            process = server.submit(StorageMigrateVM(vm, target), priority=4.0)
+            try:
+                yield process
+            except Exception:
+                raise OperationError(
+                    f"evacuation of {self.datastore.name!r} failed at {vm.name!r}"
+                ) from None
+            moved += 1
+        yield from self.timed(
+            server, task, "retire_db", CONTROL, server.database.write(rows=1)
+        )
+        task.result = moved
+
+
+class ExitMaintenance(Operation):
+    """Return a host to service."""
+
+    op_type = OperationType.EXIT_MAINTENANCE
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.host.state != HostState.MAINTENANCE:
+            raise OperationError(f"host {self.host.name!r} is not in maintenance")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        agent = server.agent(self.host)
+        self.host.state = HostState.CONNECTED
+        yield from self.timed(
+            server,
+            task,
+            "reconnect",
+            CONTROL,
+            agent.call("reconfigure", costs.host_reconfigure_s),
+        )
+        yield from self.timed(
+            server, task, "unfence_db", CONTROL, server.database.write(rows=1)
+        )
+        task.result = self.host

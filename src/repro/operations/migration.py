@@ -1,0 +1,158 @@
+"""Migration operations: vMotion (compute) and storage vMotion (disk).
+
+Live migration's data plane is the guest-memory transfer; storage
+migration's is the disk copy. Both carry the usual control-plane toll on
+top, paid at both the source and destination host agents.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.entities import Datastore, Host
+from repro.datacenter.vm import DiskBacking, PowerState, VirtualMachine
+from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+class MigrateVM(Operation):
+    """vMotion: move a powered-on VM's compute to another host."""
+
+    op_type = OperationType.MIGRATE
+
+    def __init__(self, vm: VirtualMachine, destination: Host) -> None:
+        self.vm = vm
+        self.destination = destination
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        source = self.vm.host
+        if source is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        if source is self.destination:
+            raise OperationError("source and destination hosts are the same")
+        if self.vm.power_state != PowerState.ON:
+            raise OperationError("vMotion requires a powered-on VM")
+        if not self.destination.is_usable:
+            raise OperationError(f"destination {self.destination.name!r} unusable")
+        if not self.destination.can_admit(self.vm.memory_gb):
+            raise OperationError(
+                f"destination {self.destination.name!r} cannot admit "
+                f"{self.vm.memory_gb:.0f} GB"
+            )
+
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding(
+            [self.vm.entity_id],
+            read_ids=[source.entity_id, self.destination.entity_id],
+        )
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            if self.vm.power_state != PowerState.ON:
+                raise OperationError(f"VM {self.vm.name!r} powered off while queued")
+            # Preparation handshake on both ends.
+            for tag, host in (("prep_source", source), ("prep_dest", self.destination)):
+                yield from self.timed(
+                    server,
+                    task,
+                    tag,
+                    CONTROL,
+                    server.agent(host).call("migrate_prep", costs.host_migrate_prep_s),
+                )
+            # Memory pre-copy: guest memory over the vMotion network.
+            memory_bytes = self.vm.memory_gb * 1024**3
+            yield from self.timed(
+                server,
+                task,
+                "memory_copy",
+                DATA,
+                _fixed_transfer(server, memory_bytes / costs.vmotion_bps),
+            )
+            # Switchover + cleanup.
+            yield from self.timed(
+                server,
+                task,
+                "switchover",
+                CONTROL,
+                server.agent(self.destination).call(
+                    "migrate_prep", costs.host_migrate_prep_s
+                ),
+            )
+            self.vm.place_on(self.destination)
+            yield from self.timed(
+                server, task, "commit_db", CONTROL, server.database.write(rows=2)
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)
+
+
+class StorageMigrateVM(Operation):
+    """Storage vMotion: move a VM's disks to another datastore."""
+
+    op_type = OperationType.STORAGE_MIGRATE
+
+    def __init__(self, vm: VirtualMachine, destination: Datastore) -> None:
+        self.vm = vm
+        self.destination = destination
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            agent = server.agent(self.vm.host)
+            yield from self.timed(
+                server,
+                task,
+                "prep",
+                CONTROL,
+                agent.call("migrate_prep", costs.host_migrate_prep_s),
+            )
+            for index, disk in enumerate(self.vm.disks):
+                if disk.datastore is self.destination:
+                    continue
+                # Moving a linked clone flattens it: the copy carries the
+                # full logical content to the new datastore.
+                size_gb = disk.backing.logical_size_gb
+                yield from self.timed(
+                    server,
+                    task,
+                    f"disk_copy_{index}",
+                    DATA,
+                    server.copy_scheduler.scheduled_copy(
+                        disk.datastore, self.destination, size_gb
+                    ),
+                )
+                old = disk.backing
+                if old.parent is not None:
+                    old.parent.children -= 1
+                if old.children == 0:
+                    old.datastore.reclaim(old.size_gb)
+                disk.backing = DiskBacking(datastore=self.destination, size_gb=size_gb)
+            yield from self.timed(
+                server, task, "commit_db", CONTROL, server.database.write(rows=1 + len(self.vm.disks))
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)
+
+
+def _fixed_transfer(server: "ManagementServer", seconds: float) -> typing.Generator:
+    """A data-plane delay of fixed duration (dedicated-network transfer)."""
+    yield server.sim.timeout(max(0.0, seconds))
+    return seconds

@@ -1,0 +1,110 @@
+"""Power operations: the classic-datacenter bread and butter."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.vm import PowerState, VirtualMachine
+from repro.operations.base import CONTROL, Operation, OperationError, OperationType
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+class _PowerOperation(Operation):
+    """Shared skeleton: validate → lock → host-agent call → DB commit."""
+
+    target_state: PowerState
+    host_call: str
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+
+    def _host_median(self, server: "ManagementServer") -> float:
+        raise NotImplementedError
+
+    def _check(self) -> None:
+        raise NotImplementedError
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.vm.host is None:
+            raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
+        self._check()
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        scope = server.locks.holding([self.vm.entity_id])
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            # Revalidate under the lock: the VM may have been destroyed or
+            # power-cycled by an operation that held the lock before us.
+            if self.vm.host is None:
+                raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
+            self._check()
+            # Check-and-reserve atomically (no yield between): concurrent
+            # power-ons of *different* VMs on the same host race only for
+            # admission capacity, which the state flip claims right here.
+            previous_state = self.vm.power_state
+            self.vm.power_state = self.target_state
+            agent = server.agent(self.vm.host)
+            try:
+                yield from self.timed(
+                    server,
+                    task,
+                    self.host_call,
+                    CONTROL,
+                    agent.call(self.host_call, self._host_median(server)),
+                )
+            except BaseException:
+                self.vm.power_state = previous_state
+                raise
+            yield from self.timed(
+                server, task, "state_db", CONTROL, server.database.write(rows=1)
+            )
+            task.result = self.vm
+        finally:
+            scope.release(grants)
+
+
+class PowerOn(_PowerOperation):
+    """Power a VM on, with host memory admission control.
+
+    Admission follows the hypervisor rule: powered-on guest memory on the
+    host may not exceed ``memory_gb × memory_overcommit``. The check runs
+    both up front and again under the VM lock (capacity can vanish while
+    the op queues).
+    """
+
+    op_type = OperationType.POWER_ON
+    target_state = PowerState.ON
+    host_call = "power_on"
+
+    def _host_median(self, server: "ManagementServer") -> float:
+        return server.costs.host_power_on_s
+
+    def _check(self) -> None:
+        if self.vm.power_state == PowerState.ON:
+            raise OperationError(f"VM {self.vm.name!r} already powered on")
+        host = self.vm.host
+        if host is not None and not host.can_admit(self.vm.memory_gb):
+            raise OperationError(
+                f"host {host.name!r} cannot admit {self.vm.memory_gb:.0f} GB: "
+                f"{host.memory_in_use_gb:.0f}/{host.memory_limit_gb:.0f} GB in use"
+            )
+
+
+class PowerOff(_PowerOperation):
+    """Power a VM off."""
+
+    op_type = OperationType.POWER_OFF
+    target_state = PowerState.OFF
+    host_call = "power_off"
+
+    def _host_median(self, server: "ManagementServer") -> float:
+        return server.costs.host_power_off_s
+
+    def _check(self) -> None:
+        if self.vm.power_state == PowerState.OFF:
+            raise OperationError(f"VM {self.vm.name!r} already powered off")

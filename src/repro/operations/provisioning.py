@@ -1,0 +1,273 @@
+"""Provisioning operations: clone (full/linked) and deploy-from-template.
+
+The control-plane phases are identical between the two clone flavours —
+validation, locking, placement, host-agent calls, inventory registration,
+result commit. Only the *disk materialization* phase differs:
+
+- full: a byte copy of the source's logical disk through the copy
+  scheduler (minutes of data-plane time);
+- linked: a delta-backing creation (sub-second, and none of it data-plane).
+
+That asymmetry, multiplied by cloud provisioning rates, is the paper's
+headline result.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.entities import Datastore, Host
+from repro.datacenter.vm import PowerState, VirtualDisk, VirtualMachine
+from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
+from repro.storage.linked_clone import (
+    INITIAL_DELTA_GB,
+    create_linked_backing,
+    ensure_clone_anchor,
+    has_clone_anchor,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+class CloneVM(Operation):
+    """Clone ``source`` to a new VM on ``target_host``/``target_datastore``."""
+
+    def __init__(
+        self,
+        source: VirtualMachine,
+        name: str,
+        target_host: Host,
+        target_datastore: Datastore,
+        linked: bool,
+        power_on_after: bool = False,
+    ) -> None:
+        self.source = source
+        self.name = name
+        self.target_host = target_host
+        self.target_datastore = target_datastore
+        self.linked = linked
+        self.power_on_after = power_on_after
+        self.op_type = OperationType.CLONE_LINKED if linked else OperationType.CLONE_FULL
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if not self.source.disks:
+            raise OperationError(f"source {self.source.name!r} has no disks")
+        if not self.target_host.is_usable:
+            raise OperationError(f"target host {self.target_host.name!r} unusable")
+
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+
+        # Shared lock on the source: many clones of one template proceed
+        # concurrently; an exclusive op on it (destroy/snapshot-delete)
+        # waits. The target host needs only shared access too — per-host
+        # concurrency is governed by the agent's operation slots.
+        scope = server.locks.holding(
+            [], read_ids=[self.source.entity_id, self.target_host.entity_id]
+        )
+        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        try:
+            # Placement scoring reads host/datastore stats rows.
+            yield from self.timed(
+                server, task, "placement", CONTROL, server.cpu_work(costs.placement_s)
+            )
+            yield from self.timed(
+                server, task, "placement_db", CONTROL, server.database.read(rows=2)
+            )
+
+            agent = server.agent(self.target_host)
+            if self.linked:
+                vm = yield from self._materialize_linked(server, task, agent)
+            else:
+                vm = yield from self._materialize_full(server, task, agent)
+
+            # Register the new VM with the host agent and the inventory DB:
+            # VM row, per-disk rows, permission/stat rows.
+            yield from self.timed(
+                server,
+                task,
+                "register_vm",
+                CONTROL,
+                agent.call("register_vm", costs.host_register_vm_s),
+            )
+            yield from self.timed(
+                server,
+                task,
+                "inventory_commit",
+                CONTROL,
+                server.database.write(rows=3 + len(vm.disks)),
+            )
+            vm.place_on(self.target_host)
+
+            if self.power_on_after:
+                yield from self.timed(
+                    server,
+                    task,
+                    "power_on",
+                    CONTROL,
+                    agent.call("power_on", costs.host_power_on_s),
+                )
+                vm.power_state = PowerState.ON
+                yield from self.timed(
+                    server, task, "power_on_db", CONTROL, server.database.write(rows=1)
+                )
+
+            yield from self.timed(
+                server, task, "commit", CONTROL, server.cpu_work(costs.result_commit_s)
+            )
+            task.result = vm
+        finally:
+            scope.release(grants)
+
+    # -- disk materialization ---------------------------------------------------
+
+    def _materialize_linked(
+        self, server: "ManagementServer", task: "Task", agent
+    ) -> typing.Generator[typing.Any, typing.Any, VirtualMachine]:
+        costs = server.costs
+        if not has_clone_anchor(self.source):
+            # Snapshot the source to create anchors: a host-agent call plus
+            # the snapshot's inventory rows — control-plane work that full
+            # clones of templates never pay but self-service linked clones
+            # of running VMs do.
+            yield from self.timed(
+                server,
+                task,
+                "anchor_snapshot",
+                CONTROL,
+                agent.call("snapshot", costs.host_snapshot_s),
+            )
+            yield from self.timed(
+                server, task, "anchor_db", CONTROL, server.database.write(rows=2)
+            )
+        anchors = ensure_clone_anchor(self.source)
+        vm = self._new_vm(server)
+        for index, (disk, anchor) in enumerate(zip(self.source.disks, anchors)):
+            yield from self.timed(
+                server,
+                task,
+                f"create_delta_{index}",
+                CONTROL,
+                agent.call("create_disk", costs.host_create_disk_s),
+            )
+            backing = create_linked_backing(anchor, self.target_datastore)
+            vm.attach_disk(
+                VirtualDisk(
+                    label=disk.label,
+                    backing=backing,
+                    provisioned_gb=disk.provisioned_gb,
+                )
+            )
+        return vm
+
+    def _materialize_full(
+        self, server: "ManagementServer", task: "Task", agent
+    ) -> typing.Generator[typing.Any, typing.Any, VirtualMachine]:
+        costs = server.costs
+        vm = self._new_vm(server)
+        for index, disk in enumerate(self.source.disks):
+            yield from self.timed(
+                server,
+                task,
+                f"create_disk_{index}",
+                CONTROL,
+                agent.call("create_disk", costs.host_create_disk_s),
+            )
+            size_gb = disk.backing.logical_size_gb
+            yield from self.timed(
+                server,
+                task,
+                f"copy_disk_{index}",
+                DATA,
+                server.copy_scheduler.scheduled_copy(
+                    disk.datastore, self.target_datastore, size_gb
+                ),
+            )
+            from repro.datacenter.vm import DiskBacking
+
+            vm.attach_disk(
+                VirtualDisk(
+                    label=disk.label,
+                    backing=DiskBacking(
+                        datastore=self.target_datastore, size_gb=size_gb
+                    ),
+                    provisioned_gb=disk.provisioned_gb,
+                )
+            )
+        return vm
+
+    def _new_vm(self, server: "ManagementServer") -> VirtualMachine:
+        return server.inventory.create(
+            VirtualMachine,
+            name=self.name,
+            vcpus=self.source.vcpus,
+            memory_gb=self.source.memory_gb,
+            created_at=server.sim.now,
+        )
+
+
+class DeployFromTemplate(Operation):
+    """Self-service deploy: clone from a template, customize, power on.
+
+    This is the unit of work the paper's clouds issue at high rate. The
+    customization pass (guest identity, NIC mapping) is one more
+    control-plane toll on top of the clone.
+    """
+
+    op_type = OperationType.DEPLOY
+
+    def __init__(
+        self,
+        template: VirtualMachine,
+        name: str,
+        target_host: Host,
+        target_datastore: Datastore,
+        linked: bool,
+    ) -> None:
+        if not template.is_template:
+            raise OperationError(f"{template.name!r} is not a template")
+        self.clone = CloneVM(
+            template,
+            name,
+            target_host,
+            target_datastore,
+            linked=linked,
+            power_on_after=False,
+        )
+        self.target_host = target_host
+        self.linked = linked
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        yield from self.clone.run(server, task)
+        vm = task.result
+        agent = server.agent(self.target_host)
+        yield from self.timed(
+            server, task, "customize_cpu", CONTROL, server.cpu_work(costs.config_gen_s)
+        )
+        yield from self.timed(
+            server,
+            task,
+            "customize_host",
+            CONTROL,
+            agent.call("reconfigure", costs.host_reconfigure_s),
+        )
+        yield from self.timed(
+            server, task, "customize_db", CONTROL, server.database.write(rows=1)
+        )
+        yield from self.timed(
+            server,
+            task,
+            "power_on",
+            CONTROL,
+            agent.call("power_on", costs.host_power_on_s),
+        )
+        vm.power_state = PowerState.ON
+        yield from self.timed(
+            server, task, "power_on_db", CONTROL, server.database.write(rows=1)
+        )
+        task.result = vm

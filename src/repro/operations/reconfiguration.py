@@ -1,0 +1,244 @@
+"""Cloud-reconfiguration operations: the "previously infrequent" verbs.
+
+In a classic datacenter these run at human cadence — an admin adds a host
+or a LUN occasionally. The paper's claim 4: cloud provisioning rates force
+them to run continuously (elastic capacity, datastore churn), and their
+cost *scales with inventory size* — a rescan touches every mounting host,
+an added host rescans every datastore. R-F6 sweeps exactly that scaling.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.datacenter.entities import Cluster, Datastore, Host, Network
+from repro.operations.base import CONTROL, Operation, OperationError, OperationType
+from repro.sim.events import AllOf
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+    from repro.controlplane.task_manager import Task
+
+
+def _fan_out(
+    server: "ManagementServer",
+    calls: list[typing.Generator],
+) -> typing.Generator[typing.Any, typing.Any, int]:
+    """Run host-agent calls in parallel; returns the fan-out width.
+
+    Parallelism is still bounded per host by agent slots; what this models
+    is the management server issuing the calls concurrently rather than
+    serially — how real rescans are dispatched.
+    """
+    processes = [server.sim.spawn(call) for call in calls]
+    if processes:
+        yield AllOf(server.sim, processes)
+    return len(processes)
+
+
+class RescanDatastore(Operation):
+    """Rescan one datastore on every host that mounts it."""
+
+    op_type = OperationType.RESCAN_DATASTORE
+
+    def __init__(self, datastore: Datastore) -> None:
+        self.datastore = datastore
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        mounting = sorted(self.datastore.hosts, key=lambda host: host.entity_id)
+        if not mounting:
+            raise OperationError(f"datastore {self.datastore.name!r} has no hosts")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        yield from self.timed(
+            server,
+            task,
+            "rescan_fanout",
+            CONTROL,
+            _fan_out(
+                server,
+                [
+                    server.agent(host).call("rescan", costs.host_rescan_s)
+                    for host in mounting
+                    if host.is_usable
+                ],
+            ),
+        )
+        # One storage-topology row per mount refreshed.
+        yield from self.timed(
+            server,
+            task,
+            "topology_db",
+            CONTROL,
+            server.database.write(rows=max(1, len(mounting))),
+        )
+        task.result = len(mounting)
+
+
+class AddHost(Operation):
+    """Connect a new host: handshake, inventory, mounts, rescan, network."""
+
+    op_type = OperationType.ADD_HOST
+
+    def __init__(
+        self,
+        host: Host,
+        cluster: Cluster,
+        datastores: typing.Sequence[Datastore],
+        networks: typing.Sequence[Network] = (),
+    ) -> None:
+        self.host = host
+        self.cluster = cluster
+        self.mount_datastores = list(datastores)
+        self.networks = list(networks)
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if self.host.entity_id in server.inventory:
+            raise OperationError(f"host {self.host.name!r} already in inventory")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        agent = server.adopt_host(self.host)
+        yield from self.timed(
+            server,
+            task,
+            "connect_handshake",
+            CONTROL,
+            agent.call("add_connect", costs.host_add_connect_s),
+        )
+        server.inventory.register(self.host)
+        self.cluster.add_host(self.host)
+        yield from self.timed(
+            server, task, "inventory_db", CONTROL, server.database.write(rows=2)
+        )
+        # Mount and rescan every datastore the cluster shares — the phase
+        # whose cost grows linearly with datastore count.
+        for datastore in self.mount_datastores:
+            self.host.mount(datastore)
+        yield from self.timed(
+            server,
+            task,
+            "initial_rescan",
+            CONTROL,
+            _fan_out(
+                server,
+                [
+                    agent.call("rescan", costs.host_rescan_s)
+                    for _ in self.mount_datastores
+                ],
+            ),
+        )
+        if self.mount_datastores:
+            yield from self.timed(
+                server,
+                task,
+                "mount_db",
+                CONTROL,
+                server.database.write(rows=len(self.mount_datastores)),
+            )
+        for network in self.networks:
+            self.host.attach_network(network)
+        if self.networks:
+            yield from self.timed(
+                server,
+                task,
+                "network_config",
+                CONTROL,
+                agent.call("reconfigure", costs.host_reconfigure_s),
+            )
+        yield from self.timed(
+            server, task, "commit", CONTROL, server.cpu_work(costs.result_commit_s)
+        )
+        task.result = self.host
+
+
+class AddDatastore(Operation):
+    """Provision a new datastore and mount it on a host set.
+
+    Every mounting host performs a rescan — the cost scales with host
+    count, which is why frequent datastore churn at cloud scale is a
+    control-plane problem.
+    """
+
+    op_type = OperationType.ADD_DATASTORE
+
+    def __init__(self, datastore: Datastore, hosts: typing.Sequence[Host]) -> None:
+        self.datastore = datastore
+        self.hosts = list(hosts)
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        if not self.hosts:
+            raise OperationError("no hosts to mount the datastore on")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        if self.datastore.entity_id not in server.inventory:
+            server.inventory.register(self.datastore)
+        yield from self.timed(
+            server, task, "inventory_db", CONTROL, server.database.write(rows=1)
+        )
+        for host in self.hosts:
+            host.mount(self.datastore)
+        yield from self.timed(
+            server,
+            task,
+            "mount_rescan",
+            CONTROL,
+            _fan_out(
+                server,
+                [
+                    server.agent(host).call("rescan", costs.host_rescan_s)
+                    for host in self.hosts
+                    if host.is_usable
+                ],
+            ),
+        )
+        yield from self.timed(
+            server, task, "mount_db", CONTROL, server.database.write(rows=len(self.hosts))
+        )
+        task.result = self.datastore
+
+
+class NetworkReconfig(Operation):
+    """Push a network (port-group) change to every host in a cluster."""
+
+    op_type = OperationType.NETWORK_RECONFIG
+
+    def __init__(self, cluster: Cluster, network: Network) -> None:
+        self.cluster = cluster
+        self.network = network
+
+    def run(self, server: "ManagementServer", task: "Task") -> typing.Generator:
+        costs = server.costs
+        hosts = self.cluster.usable_hosts
+        if not hosts:
+            raise OperationError(f"cluster {self.cluster.name!r} has no usable hosts")
+        yield from self.timed(
+            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+        )
+        yield from self.timed(
+            server, task, "config_gen", CONTROL, server.cpu_work(costs.config_gen_s)
+        )
+        for host in hosts:
+            host.attach_network(self.network)
+        yield from self.timed(
+            server,
+            task,
+            "push_fanout",
+            CONTROL,
+            _fan_out(
+                server,
+                [
+                    server.agent(host).call("reconfigure", costs.host_reconfigure_s)
+                    for host in hosts
+                ],
+            ),
+        )
+        yield from self.timed(
+            server, task, "commit_db", CONTROL, server.database.write(rows=len(hosts))
+        )
+        task.result = self.network

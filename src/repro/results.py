@@ -1,0 +1,134 @@
+"""Result archiving: persist experiment outputs with their provenance.
+
+Reproductions decay when results can't be tied to the code and seeds that
+made them. An :class:`ResultArchive` stores each
+:class:`~repro.core.experiments.ExperimentResult` as JSON with metadata
+(seed, quick flag, package version, free-form tags) and can diff two
+stored runs of the same exhibit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing
+
+from repro.core.experiments import ExperimentResult
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredResult:
+    """One archived experiment run."""
+
+    exp_id: str
+    seed: int
+    quick: bool
+    version: str
+    tags: dict[str, str]
+    result: ExperimentResult
+
+    def key(self) -> str:
+        mode = "quick" if self.quick else "full"
+        return f"{self.exp_id}-seed{self.seed}-{mode}"
+
+
+class ResultArchive:
+    """A directory of JSON experiment results."""
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def store(
+        self,
+        result: ExperimentResult,
+        seed: int,
+        quick: bool,
+        tags: dict[str, str] | None = None,
+    ) -> StoredResult:
+        from repro import __version__
+
+        stored = StoredResult(
+            exp_id=result.exp_id,
+            seed=seed,
+            quick=quick,
+            version=__version__,
+            tags=dict(tags or {}),
+            result=result,
+        )
+        payload = {
+            "exp_id": stored.exp_id,
+            "seed": stored.seed,
+            "quick": stored.quick,
+            "version": stored.version,
+            "tags": stored.tags,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": [[str(cell) for cell in row] for row in result.rows],
+            "series": {
+                label: [[x, y] for x, y in pairs]
+                for label, pairs in result.series.items()
+            },
+            "notes": result.notes,
+        }
+        self._path(stored.key()).write_text(json.dumps(payload, indent=2))
+        return stored
+
+    def load(self, key: str) -> StoredResult:
+        path = self._path(key)
+        if not path.exists():
+            raise KeyError(f"no stored result {key!r} in {self.directory}")
+        payload = json.loads(path.read_text())
+        result = ExperimentResult(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            series={
+                label: [(x, y) for x, y in pairs]
+                for label, pairs in payload["series"].items()
+            },
+            notes=payload["notes"],
+        )
+        return StoredResult(
+            exp_id=payload["exp_id"],
+            seed=payload["seed"],
+            quick=payload["quick"],
+            version=payload["version"],
+            tags=dict(payload["tags"]),
+            result=result,
+        )
+
+    def keys(self) -> list[str]:
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def diff(self, key_a: str, key_b: str) -> list[str]:
+        """Human-readable cell-level differences between two stored runs."""
+        a = self.load(key_a)
+        b = self.load(key_b)
+        if a.exp_id != b.exp_id:
+            raise ValueError(f"cannot diff {a.exp_id} against {b.exp_id}")
+        differences: list[str] = []
+        if a.result.headers != b.result.headers:
+            differences.append(
+                f"headers: {a.result.headers} != {b.result.headers}"
+            )
+            return differences
+        rows_a = {tuple(row[:1]): row for row in a.result.rows}
+        rows_b = {tuple(row[:1]): row for row in b.result.rows}
+        for row_key in sorted(set(rows_a) | set(rows_b), key=str):
+            row_a = rows_a.get(row_key)
+            row_b = rows_b.get(row_key)
+            if row_a is None or row_b is None:
+                differences.append(f"row {row_key[0]!r}: only in one run")
+                continue
+            for header, cell_a, cell_b in zip(a.result.headers, row_a, row_b):
+                if str(cell_a) != str(cell_b):
+                    differences.append(
+                        f"row {row_key[0]!r} / {header}: {cell_a} -> {cell_b}"
+                    )
+        return differences

@@ -1,0 +1,202 @@
+"""Events: the unit of coordination in the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence. Processes wait on events by
+yielding them; resources and the kernel trigger them. Events carry either a
+value (success) or an exception (failure), and support cancellation so that
+fluid-flow models (e.g. the fair-share bandwidth link) can reschedule
+completions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+# Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"  # scheduled on the queue, value decided
+PROCESSED = "processed"  # callbacks have run
+CANCELLED = "cancelled"
+
+
+class EventCancelled(Exception):
+    """Raised when waiting on an event that was cancelled."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[typing.Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: typing.Any = None
+        self._exception: BaseException | None = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event's outcome has been decided."""
+        return self._state in (TRIGGERED, PROCESSED)
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == CANCELLED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> typing.Any:
+        """The success value, or raises the failure exception."""
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: typing.Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} already {self._state}")
+        self._state = TRIGGERED
+        self._value = value
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters will see ``exception`` raised."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} already {self._state}")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = TRIGGERED
+        self._exception = exception
+        self.sim._enqueue(self, delay)
+        return self
+
+    def cancel(self) -> None:
+        """Cancel an event whose callbacks have not yet run.
+
+        A cancelled event never fires its callbacks. Pending events and
+        triggered-but-unprocessed events (e.g. a scheduled completion timer
+        being rescheduled) may be cancelled; a processed event may not.
+        """
+        if self._state == PROCESSED:
+            raise RuntimeError(f"cannot cancel {self!r}: already processed")
+        self._state = CANCELLED
+
+    # -- kernel hooks -------------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        if self._state == CANCELLED:
+            return
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: typing.Any = None,
+        name: str = "",
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.delay = delay
+        self._state = TRIGGERED
+        self._value = value
+        sim._enqueue(self, delay)
+
+
+class Condition(Event):
+    """Base for events composed of other events (:class:`AllOf`/:class:`AnyOf`).
+
+    The condition evaluates each time a constituent fires. A failing
+    constituent fails the condition immediately with the same exception.
+    """
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event], name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all constituent events must share a simulator")
+        if not self.events:
+            # Vacuous truth: an empty AllOf succeeds, an empty AnyOf never
+            # would — but treating both as immediate success is the least
+            # surprising behaviour for fan-out over possibly-empty sets.
+            self.succeed(value={})
+            return
+        for event in self.events:
+            if event.triggered:
+                # Already-decided events are folded in via an immediate
+                # callback once the kernel processes them; register anyway.
+                event.callbacks.append(self._check)
+                if event.processed:
+                    self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered or self.cancelled:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        if self._evaluate():
+            self.succeed(value=self._collect())
+
+    def _collect(self) -> dict[Event, typing.Any]:
+        return {event: event._value for event in self.events if event.processed and event.ok}
+
+
+class AllOf(Condition):
+    """Succeeds once every constituent event has succeeded."""
+
+    def _evaluate(self) -> bool:
+        return all(event.processed and event.ok for event in self.events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as any constituent event succeeds."""
+
+    def _evaluate(self) -> bool:
+        return any(event.processed and event.ok for event in self.events)

@@ -1,0 +1,225 @@
+"""The simulation kernel: event loop and process management.
+
+Processes are Python generators that yield :class:`~repro.sim.events.Event`
+instances; the kernel resumes them when the event fires. Determinism is
+guaranteed by a strict (time, priority, sequence) ordering on the event heap:
+two runs with the same seed produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import CANCELLED, Event, EventCancelled, Timeout
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+# Priorities for same-timestamp ordering: kernel internals (process resume)
+# run before ordinary events so resource handoffs are prompt.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` is whatever the interrupter supplied — typically an
+    exception or a short string describing the failure being injected.
+    """
+
+    def __init__(self, cause: typing.Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running activity; also an event that fires when the activity ends.
+
+    The process's success value is the generator's return value; an uncaught
+    exception inside the generator fails the process event with it.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off at the current time, urgently, so spawn order is preserved.
+        bootstrap = Event(sim, name=f"start:{self.name}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op error; interrupting a
+        process blocked on an event detaches it from that event first.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim, name=f"interrupt:{self.name}")
+        interrupt_event.callbacks.append(
+            lambda _event: self._throw_in(Interrupt(cause))
+        )
+        interrupt_event.succeed()
+
+    # -- internals --------------------------------------------------------
+
+    def _detach(self) -> None:
+        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
+            self._waiting_on.callbacks.remove(self._resume)
+        self._waiting_on = None
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._detach()
+        self._step(lambda: self._generator.throw(exc))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.cancelled or event._state == CANCELLED:
+            self._step(lambda: self._generator.throw(EventCancelled(event.name)))
+        elif event.ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            self._step(lambda: self._generator.throw(event.exception))
+
+    def _step(self, advance: typing.Callable[[], Event]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(value=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Events"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self.fail(RuntimeError("yielded event belongs to a different simulator"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already fully fired: resume on the next tick of the loop.
+            relay = Event(self.sim, name=f"relay:{self.name}")
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(value=target._value)
+            else:
+                relay.fail(target.exception)  # type: ignore[arg-type]
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time (seconds by convention throughout this repo).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._spawned = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a process at the current simulated time."""
+        self._spawned += 1
+        return Process(self, generator, name=name or f"proc-{self._spawned}")
+
+    # Alias familiar to SimPy users.
+    process = spawn
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        while self._heap and self._heap[0][3]._state == CANCELLED:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        while True:
+            if not self._heap:
+                raise RuntimeError("step() on an empty schedule")
+            when, _priority, _seq, event = heapq.heappop(self._heap)
+            if event._state == CANCELLED:
+                continue
+            break
+        if when < self._now:
+            raise RuntimeError("event scheduled in the past; kernel invariant broken")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run the event loop.
+
+        ``until`` may be:
+
+        - ``None`` — run until no events remain;
+        - a number — run until simulated time reaches it;
+        - an :class:`Event` — run until that event fires, returning its value
+          (or raising its failure).
+        """
+        if until is None:
+            while self._heap:
+                if self.peek() == float("inf"):
+                    break
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if self.peek() == float("inf"):
+                    raise RuntimeError(
+                        f"simulation ran dry before {target!r} fired (deadlock?)"
+                    )
+                self.step()
+            return target.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self.peek() <= horizon:
+            self.step()
+        self._now = horizon
+        return None

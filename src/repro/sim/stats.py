@@ -1,0 +1,232 @@
+"""Metrics primitives: counters, time-weighted gauges, latency recorders.
+
+Every model component publishes into a :class:`MetricsRegistry`; the
+analysis pipeline (``repro.analysis``) reads registries after a run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, errors)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A piecewise-constant level with time-weighted statistics.
+
+    Tracks queue depths and utilization. ``set``/``add`` record the level at
+    the current simulated time; :meth:`time_average` integrates it.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.value = 0.0
+        self.maximum = 0.0
+        self._area = 0.0
+        self._stamp = sim.now
+        self._samples: list[tuple[float, float]] = [(sim.now, 0.0)]
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        self._area += self.value * (now - self._stamp)
+        self._stamp = now
+
+    def set(self, value: float) -> None:
+        self._settle()
+        self.value = value
+        self.maximum = max(self.maximum, value)
+        self._samples.append((self.sim.now, value))
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def time_average(self, since: float = 0.0) -> float:
+        """Time-weighted mean level over [since, now]."""
+        self._settle()
+        span = self._stamp - since
+        if span <= 0:
+            return self.value
+        # Recompute the area restricted to [since, now] from samples.
+        area = 0.0
+        prev_time, prev_value = self._samples[0]
+        for time, value in self._samples[1:]:
+            lo = max(prev_time, since)
+            hi = min(time, self._stamp)
+            if hi > lo:
+                area += prev_value * (hi - lo)
+            prev_time, prev_value = time, value
+        if self._stamp > max(prev_time, since):
+            area += prev_value * (self._stamp - max(prev_time, since))
+        return area / span
+
+    def series(self) -> list[tuple[float, float]]:
+        """The raw (time, level) step series."""
+        return list(self._samples)
+
+
+class LatencyRecorder:
+    """A bag of duration samples with percentile queries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sorted: list[float] = []
+        self._sum = 0.0
+
+    def record(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration on {self.name!r}")
+        bisect.insort(self._sorted, duration)
+        self._sum += duration
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+        if not self._sorted:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        position = fraction * (len(self._sorted) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        low_value = self._sorted[lower]
+        high_value = self._sorted[upper]
+        if lower == upper or low_value == high_value:
+            return low_value
+        weight = position - lower
+        # Clamp: interpolation can overshoot by an ulp.
+        return min(high_value, max(low_value, low_value * (1 - weight) + high_value * weight))
+
+    def cdf(self, points: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs suitable for plotting."""
+        if not self._sorted:
+            return []
+        n = len(self._sorted)
+        step = max(1, n // points)
+        out = [
+            (self._sorted[index], (index + 1) / n)
+            for index in range(0, n, step)
+        ]
+        if out[-1][1] < 1.0:
+            out.append((self._sorted[-1], 1.0))
+        return out
+
+    def samples(self) -> list[float]:
+        return list(self._sorted)
+
+
+class Histogram:
+    """Fixed-bin histogram for bounded quantities (e.g. chain depth)."""
+
+    def __init__(self, name: str, edges: typing.Sequence[float]) -> None:
+        if list(edges) != sorted(edges) or len(edges) < 2:
+            raise ValueError("edges must be a sorted sequence of >= 2 values")
+        self.name = name
+        self.edges = list(edges)
+        self.counts = [0] * (len(edges) - 1)
+        self.underflow = 0
+        self.overflow = 0
+
+    def record(self, value: float) -> None:
+        if value < self.edges[0]:
+            self.underflow += 1
+            return
+        if value >= self.edges[-1]:
+            self.overflow += 1
+            return
+        index = bisect.bisect_right(self.edges, value) - 1
+        self.counts[index] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+
+class TimeSeries:
+    """Values binned into fixed-width time buckets (for rate plots)."""
+
+    def __init__(self, name: str, bin_width: float) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.name = name
+        self.bin_width = bin_width
+        self._bins: dict[int, float] = {}
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        self._bins[int(time // self.bin_width)] = (
+            self._bins.get(int(time // self.bin_width), 0.0) + amount
+        )
+
+    def bins(self) -> list[tuple[float, float]]:
+        """Sorted (bin start time, total) pairs, gaps filled with zero."""
+        if not self._bins:
+            return []
+        lo = min(self._bins)
+        hi = max(self._bins)
+        return [
+            (index * self.bin_width, self._bins.get(index, 0.0))
+            for index in range(lo, hi + 1)
+        ]
+
+
+class MetricsRegistry:
+    """A namespace of metrics owned by one model component."""
+
+    def __init__(self, sim: "Simulator", prefix: str = "") -> None:
+        self.sim = sim
+        self.prefix = prefix
+        self._metrics: dict[str, typing.Any] = {}
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda key: Counter(key))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda key: Gauge(self.sim, key))
+
+    def latency(self, name: str) -> LatencyRecorder:
+        return self._get(name, lambda key: LatencyRecorder(key))
+
+    def histogram(self, name: str, edges: typing.Sequence[float]) -> Histogram:
+        return self._get(name, lambda key: Histogram(key, edges))
+
+    def timeseries(self, name: str, bin_width: float) -> TimeSeries:
+        return self._get(name, lambda key: TimeSeries(key, bin_width))
+
+    def _get(self, name: str, factory: typing.Callable[[str], typing.Any]) -> typing.Any:
+        key = self._key(name)
+        if key not in self._metrics:
+            self._metrics[key] = factory(key)
+        metric = self._metrics[key]
+        return metric
+
+    def all(self) -> dict[str, typing.Any]:
+        return dict(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return self._key(name) in self._metrics

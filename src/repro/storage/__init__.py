@@ -1,0 +1,30 @@
+"""The storage data plane: bandwidth, copy engine, and linked-clone mechanics.
+
+This is the substrate whose cost the paper's "most recent virtualization
+techniques" (linked clones) nearly eliminate. Full clones move
+disk-size-proportional bytes through a fair-shared storage link; linked
+clones move only metadata. Both go through the same admission scheduler so
+the control plane sees identical task structure either way.
+"""
+
+from repro.storage.bandwidth import FairShareLink, Transfer
+from repro.storage.copy_engine import CopyEngine, CopyFailed
+from repro.storage.linked_clone import (
+    LinkedCloneError,
+    consolidate_chain,
+    create_linked_backing,
+    ensure_clone_anchor,
+)
+from repro.storage.scheduler import CopyScheduler
+
+__all__ = [
+    "CopyEngine",
+    "CopyFailed",
+    "CopyScheduler",
+    "FairShareLink",
+    "LinkedCloneError",
+    "Transfer",
+    "consolidate_chain",
+    "create_linked_backing",
+    "ensure_clone_anchor",
+]

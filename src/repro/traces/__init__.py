@@ -1,0 +1,22 @@
+"""Trace records: the schema the characterization pipeline consumes.
+
+Generators emit the same records a production management-server log
+parser would, so the analysis in :mod:`repro.analysis` is agnostic to
+whether its input is synthetic or real.
+"""
+
+from repro.traces.filters import by_op_type, by_success, in_window, provisioning_only
+from repro.traces.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.traces.records import TraceRecord
+
+__all__ = [
+    "TraceRecord",
+    "by_op_type",
+    "by_success",
+    "in_window",
+    "provisioning_only",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

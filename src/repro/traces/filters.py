@@ -1,0 +1,35 @@
+"""Trace filtering helpers used by the analysis pipeline and benches."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.operations.base import OperationType
+from repro.traces.records import TraceRecord
+
+
+def by_op_type(
+    records: typing.Iterable[TraceRecord], *op_types: str
+) -> list[TraceRecord]:
+    wanted = set(op_types)
+    return [record for record in records if record.op_type in wanted]
+
+
+def by_success(
+    records: typing.Iterable[TraceRecord], success: bool = True
+) -> list[TraceRecord]:
+    return [record for record in records if record.success == success]
+
+
+def in_window(
+    records: typing.Iterable[TraceRecord], start: float, end: float
+) -> list[TraceRecord]:
+    """Records submitted in [start, end)."""
+    if end < start:
+        raise ValueError("window end before start")
+    return [record for record in records if start <= record.submitted_at < end]
+
+
+def provisioning_only(records: typing.Iterable[TraceRecord]) -> list[TraceRecord]:
+    wanted = {op.value for op in OperationType.provisioning()}
+    return [record for record in records if record.op_type in wanted]

@@ -1,0 +1,65 @@
+"""Trace persistence: CSV and JSONL, round-trip safe."""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import typing
+
+from repro.traces.records import TraceRecord
+
+_BOOL = {"True": True, "False": False, "true": True, "false": False}
+
+
+def write_csv(records: typing.Iterable[TraceRecord], path: str | pathlib.Path) -> int:
+    """Write records; returns the count written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(TraceRecord.FIELDS))
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record.to_dict())
+            count += 1
+    return count
+
+
+def read_csv(path: str | pathlib.Path) -> list[TraceRecord]:
+    records = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            records.append(
+                TraceRecord(
+                    op_type=row["op_type"],
+                    submitted_at=float(row["submitted_at"]),
+                    started_at=float(row["started_at"]),
+                    finished_at=float(row["finished_at"]),
+                    success=_BOOL.get(row["success"], bool(row["success"])),
+                    control_s=float(row["control_s"]),
+                    data_s=float(row["data_s"]),
+                    org=row["org"],
+                    task_id=int(row["task_id"]),
+                    error=row["error"],
+                )
+            )
+    return records
+
+
+def write_jsonl(records: typing.Iterable[TraceRecord], path: str | pathlib.Path) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[TraceRecord]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(TraceRecord.from_dict(json.loads(line)))
+    return records

@@ -1,0 +1,79 @@
+"""The trace-record schema."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.task_manager import Task
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One completed management operation, as a log line would record it."""
+
+    op_type: str
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    success: bool
+    control_s: float      # attributed control-plane seconds
+    data_s: float         # attributed data-plane seconds
+    org: str = ""
+    task_id: int = 0
+    error: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    @property
+    def queue_wait(self) -> float:
+        return self.started_at - self.submitted_at
+
+    @property
+    def service_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    @classmethod
+    def from_task(cls, task: "Task", org: str = "") -> "TraceRecord":
+        """Convert a completed control-plane task into a trace record."""
+        if task.finished_at is None or task.started_at is None:
+            raise ValueError(f"task {task.task_id} has not finished")
+        return cls(
+            op_type=task.op_type,
+            submitted_at=task.submitted_at,
+            started_at=task.started_at,
+            finished_at=task.finished_at,
+            success=task.state.value == "success",
+            control_s=task.plane_seconds("control"),
+            data_s=task.plane_seconds("data"),
+            org=org,
+            task_id=task.task_id,
+            error=task.error or "",
+        )
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, typing.Any]) -> "TraceRecord":
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise ValueError(f"unknown trace fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    FIELDS: typing.ClassVar[tuple[str, ...]] = (
+        "op_type",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "success",
+        "control_s",
+        "data_s",
+        "org",
+        "task_id",
+        "error",
+    )

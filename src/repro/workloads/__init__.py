@@ -1,0 +1,43 @@
+"""Workload generation: arrival processes, operation mixes, and drivers.
+
+The two production clouds the paper measured are represented as
+calibrated synthetic profiles (CLOUD_A, CLOUD_B) plus a CLASSIC_DC
+baseline — see :mod:`repro.workloads.profiles` for the parameter
+rationale and DESIGN.md for the substitution argument.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    DiurnalPoisson,
+    MMPPBurst,
+    Poisson,
+)
+from repro.workloads.lifetimes import LifetimeModel
+from repro.workloads.mixes import (
+    CLASSIC_DC_MIX,
+    CLOUD_A_MIX,
+    CLOUD_B_MIX,
+    OperationMix,
+)
+from repro.workloads.profiles import CLASSIC_DC, CLOUD_A, CLOUD_B, CloudProfile
+from repro.workloads.driver import WorkloadDriver
+from repro.workloads.replay import TraceReplayer, replay_against
+
+__all__ = [
+    "ArrivalProcess",
+    "CLASSIC_DC",
+    "CLASSIC_DC_MIX",
+    "CLOUD_A",
+    "CLOUD_A_MIX",
+    "CLOUD_B",
+    "CLOUD_B_MIX",
+    "CloudProfile",
+    "DiurnalPoisson",
+    "LifetimeModel",
+    "MMPPBurst",
+    "OperationMix",
+    "Poisson",
+    "TraceReplayer",
+    "WorkloadDriver",
+    "replay_against",
+]

@@ -1,0 +1,54 @@
+"""VM lifetime models: how long a deployed VM lives before deletion.
+
+Cloud dev/test VMs live hours-to-days with a heavy tail; classic
+datacenter VMs live months. The contrast drives R-F10 and, through the
+driver, the destroy rate in the operation mixes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.sim.random import lognormal_from_median, pareto
+
+
+@dataclasses.dataclass(frozen=True)
+class LifetimeModel:
+    """A mixture: lognormal body plus a Pareto tail.
+
+    ``tail_fraction`` of VMs are long-lived (Pareto, heavy tail from
+    ``tail_scale_s``); the rest draw lognormal around ``median_s``.
+    """
+
+    median_s: float
+    sigma: float = 1.0
+    tail_fraction: float = 0.10
+    tail_scale_s: float = 7 * 86_400.0
+    tail_shape: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise ValueError("median_s must be positive")
+        if not 0.0 <= self.tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in [0, 1]")
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.tail_fraction:
+            return pareto(rng, self.tail_shape, self.tail_scale_s)
+        return lognormal_from_median(rng, self.median_s, self.sigma)
+
+
+# Dev/test cloud: median 6 hours, long tail of forgotten VMs.
+CLOUD_A_LIFETIME = LifetimeModel(median_s=6 * 3600.0, sigma=1.2, tail_fraction=0.08)
+
+# Production cloud: median 2 days.
+CLOUD_B_LIFETIME = LifetimeModel(median_s=2 * 86_400.0, sigma=1.0, tail_fraction=0.15)
+
+# Classic datacenter: median 60 days, most VMs effectively permanent.
+CLASSIC_DC_LIFETIME = LifetimeModel(
+    median_s=60 * 86_400.0,
+    sigma=0.8,
+    tail_fraction=0.30,
+    tail_scale_s=180 * 86_400.0,
+)

@@ -1,0 +1,86 @@
+"""Tests for burstiness metrics."""
+
+import pytest
+
+from repro.analysis import arrival_cov, burstiness_summary, index_of_dispersion
+from repro.analysis.burstiness import coefficient_of_variation, interarrival_times
+from repro.sim import RandomStreams
+from repro.traces import TraceRecord
+from repro.workloads import MMPPBurst, Poisson
+
+
+def records_from_times(times):
+    return [
+        TraceRecord(
+            op_type="deploy",
+            submitted_at=t,
+            started_at=t,
+            finished_at=t + 1.0,
+            success=True,
+            control_s=1.0,
+            data_s=0.0,
+        )
+        for t in times
+    ]
+
+
+def draw_times(process, count, seed=1):
+    rng = RandomStreams(seed).stream("arrivals")
+    now, times = 0.0, []
+    for _ in range(count):
+        now = process.next_arrival(now, rng)
+        times.append(now)
+    return times
+
+
+def test_interarrival_times_sorted_input_not_required():
+    records = records_from_times([10.0, 0.0, 5.0])
+    assert interarrival_times(records) == [5.0, 5.0]
+
+
+def test_cov_constant_stream_is_zero():
+    assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+
+
+def test_cov_too_few_samples_is_zero():
+    assert coefficient_of_variation([1.0]) == 0.0
+
+
+def test_poisson_cov_near_one():
+    times = draw_times(Poisson(rate=1.0), 8000)
+    cov = arrival_cov(records_from_times(times))
+    assert 0.9 < cov < 1.1
+
+
+def test_mmpp_cov_above_one():
+    process = MMPPBurst(calm_rate=0.01, burst_rate=2.0, mean_calm_s=500, mean_burst_s=100)
+    times = draw_times(process, 8000, seed=3)
+    cov = arrival_cov(records_from_times(times))
+    assert cov > 1.5
+
+
+def test_idc_poisson_near_one():
+    times = draw_times(Poisson(rate=1.0), 8000)
+    idc = index_of_dispersion(records_from_times(times), bin_s=30.0)
+    assert 0.7 < idc < 1.5
+
+
+def test_idc_bursty_much_greater_than_one():
+    process = MMPPBurst(calm_rate=0.01, burst_rate=2.0, mean_calm_s=500, mean_burst_s=100)
+    times = draw_times(process, 8000, seed=3)
+    idc = index_of_dispersion(records_from_times(times), bin_s=30.0)
+    assert idc > 5.0
+
+
+def test_empty_inputs():
+    assert arrival_cov([]) == 0.0
+    assert index_of_dispersion([]) == 0.0
+    summary = burstiness_summary([])
+    assert summary["operations"] == 0.0
+
+
+def test_summary_keys():
+    times = draw_times(Poisson(rate=1.0), 100)
+    summary = burstiness_summary(records_from_times(times))
+    assert set(summary) == {"arrival_cov", "index_of_dispersion", "operations"}
+    assert summary["operations"] == 100.0

@@ -1,0 +1,127 @@
+"""Integration tests for the cloud director."""
+
+import pytest
+
+from repro.cloud import DeployRequest, QuotaExceeded, VAppState
+from repro.datacenter import PowerState, VirtualMachine
+
+
+def request(cloud, item="web-linked", count=3, name="app1"):
+    return DeployRequest(
+        org=cloud.org, item=cloud.catalog.get(item), vm_count=count, vapp_name=name
+    )
+
+
+def test_deploy_runs_all_vms(cloud):
+    vapp = cloud.run_deploy(request(cloud, count=4))
+    assert vapp.state == VAppState.RUNNING
+    assert vapp.vm_count == 4
+    assert all(vm.power_state == PowerState.ON for vm in vapp.vms)
+    assert vapp.deploy_latency > 0
+
+
+def test_deploy_spreads_across_hosts(cloud):
+    vapp = cloud.run_deploy(request(cloud, count=4))
+    hosts = {vm.host for vm in vapp.vms}
+    assert len(hosts) == 4
+
+
+def test_deploy_charges_quota(cloud):
+    cloud.run_deploy(request(cloud, count=3))
+    assert cloud.org.used_vms == 3
+
+
+def test_deploy_over_quota_raises_before_operations(cloud):
+    cloud.org.quota_vms = 2
+    tasks_before = len(cloud.server.tasks.tasks)
+
+    def proc():
+        with pytest.raises(QuotaExceeded):
+            yield from cloud.director.deploy(request(cloud, count=3))
+        return True
+
+    process = cloud.sim.spawn(proc())
+    assert cloud.sim.run(until=process) is True
+    assert len(cloud.server.tasks.tasks) == tasks_before
+
+
+def test_vm_count_validation(cloud):
+    with pytest.raises(ValueError):
+        request(cloud, count=0)
+
+
+def test_full_item_charges_template_size(cloud):
+    cloud.run_deploy(request(cloud, item="web-full", count=2))
+    assert cloud.org.used_storage_gb == pytest.approx(
+        2 * cloud.template.total_disk_gb
+    )
+
+
+def test_linked_deploy_moves_no_bytes(cloud):
+    cloud.run_deploy(request(cloud, count=5))
+    assert cloud.server.copy_engine.total_bytes_written == 0
+
+
+def test_delete_destroys_and_credits(cloud):
+    vapp = cloud.run_deploy(request(cloud, count=3))
+    vm_count_before = cloud.server.inventory.count(VirtualMachine)
+    cloud.run_delete(vapp)
+    assert vapp.state == VAppState.DELETED
+    assert cloud.org.used_vms == 0
+    assert cloud.server.inventory.count(VirtualMachine) == vm_count_before - 3
+
+
+def test_delete_twice_rejected(cloud):
+    vapp = cloud.run_deploy(request(cloud, count=1))
+    cloud.run_delete(vapp)
+    with pytest.raises(ValueError, match="already deleted"):
+        cloud.run_delete(vapp)
+
+
+def test_partial_failure_from_host_fault_without_retries(cloud):
+    # Round-robin placement: the second VM lands on hosts[1]; injecting a
+    # fault there fails exactly one member when retries are disabled.
+    cloud.director.retries_per_vm = 0
+    cloud.server.agent(cloud.hosts[1]).inject_failure()
+    vapp = cloud.run_deploy(request(cloud, count=4))
+    assert vapp.state == VAppState.PARTIAL
+    assert vapp.vm_count == 3
+    assert cloud.org.used_vms == 3
+    assert cloud.director.metrics.counter("vm_failures").value == 1
+
+
+def test_retry_masks_transient_host_fault(cloud):
+    """Default behaviour: one injected fault is absorbed by re-placement."""
+    cloud.server.agent(cloud.hosts[1]).inject_failure()
+    vapp = cloud.run_deploy(request(cloud, count=4))
+    assert vapp.state == VAppState.RUNNING
+    assert vapp.vm_count == 4
+    assert cloud.director.metrics.counter("vm_retries").value == 1
+    # The retried VM carries its retry suffix.
+    assert any("-r1" in vm.name for vm in vapp.vms)
+
+
+def test_retries_validation(cloud):
+    from repro.cloud import CloudDirector
+
+    with pytest.raises(ValueError):
+        CloudDirector(
+            cloud.server,
+            cloud.cluster,
+            cloud.library,
+            cloud.catalog,
+            retries_per_vm=-1,
+        )
+
+
+def test_running_vapps_listing(cloud):
+    first = cloud.run_deploy(request(cloud, count=1, name="a"))
+    second = cloud.run_deploy(request(cloud, count=1, name="b"))
+    cloud.run_delete(first)
+    assert cloud.director.running_vapps() == [second]
+
+
+def test_deploy_latency_percentiles_available(cloud):
+    for index in range(3):
+        cloud.run_deploy(request(cloud, count=1, name=f"app{index}"))
+    assert cloud.director.deploy_latency_p(0.5) > 0

@@ -1,0 +1,112 @@
+"""Tests for the federated multi-shard self-service cloud."""
+
+import pytest
+
+from repro.cloud import FederatedCloud, Organization, VAppState
+from repro.sim import RandomStreams, Simulator
+
+
+def build(shards=2, hosts_per_shard=4, seed=3):
+    sim = Simulator()
+    cloud = FederatedCloud(
+        sim, RandomStreams(seed), shard_count=shards, hosts_per_shard=hosts_per_shard
+    )
+    return sim, cloud
+
+
+def run_deploy(sim, cloud, org, count=2, name="app"):
+    box = {}
+
+    def proc():
+        box["vapp"] = yield from cloud.deploy(org, "small-linux-linked", count, name)
+
+    process = sim.spawn(proc())
+    sim.run(until=process)
+    return box["vapp"]
+
+
+def test_construction_validates():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FederatedCloud(sim, RandomStreams(1), shard_count=0)
+
+
+def test_each_shard_has_own_infrastructure():
+    _, cloud = build(shards=3)
+    assert cloud.shard_count == 3
+    # Shard inventories are disjoint.
+    all_hosts = [
+        host.entity_id for shard in cloud.plane.shards for host in shard.hosts
+    ]
+    assert len(all_hosts) == len(set(all_hosts)) == 12
+
+
+def test_org_affinity_is_sticky():
+    _, cloud = build(shards=2)
+    org = Organization("acme")
+    first = cloud.director_for(org)
+    second = cloud.director_for(org)
+    assert first is second
+
+
+def test_orgs_spread_round_robin():
+    _, cloud = build(shards=2)
+    directors = {cloud.director_for(Organization(f"org{i}")).server.name for i in range(4)}
+    assert len(directors) == 2
+
+
+def test_deploy_runs_on_home_shard():
+    sim, cloud = build(shards=2)
+    org = Organization("acme")
+    vapp = run_deploy(sim, cloud, org, count=3)
+    assert vapp.state == VAppState.RUNNING
+    home = cloud.director_for(org)
+    # All member VMs live on the home shard's hosts.
+    home_hosts = set(home.server.hosts)
+    assert all(vm.host in home_hosts for vm in vapp.vms)
+
+
+def test_delete_routes_home():
+    sim, cloud = build(shards=2)
+    org = Organization("acme")
+    vapp = run_deploy(sim, cloud, org)
+
+    def proc():
+        yield from cloud.delete(vapp)
+
+    sim.run(until=sim.spawn(proc()))
+    assert vapp.state == VAppState.DELETED
+    assert org.used_vms == 0
+
+
+def test_deploy_latency_tracked():
+    sim, cloud = build(shards=2)
+    run_deploy(sim, cloud, Organization("acme"))
+    assert cloud.deploy_latency_p(0.5) > 0
+
+
+def test_federation_scales_concurrent_tenants():
+    """Many orgs deploying at once: 4 shards beat 1 shard wall-clock."""
+
+    def storm(shards):
+        sim, cloud = build(shards=shards, hosts_per_shard=4, seed=5)
+        processes = []
+        for index in range(24):
+            org = Organization(f"org{index % 8}")
+
+            def proc(org=org, index=index):
+                try:
+                    yield from cloud.deploy(
+                        org, "small-linux-linked", 2, f"app-{index}"
+                    )
+                except Exception:
+                    pass
+
+            processes.append(sim.spawn(proc()))
+        sim.run()
+        return sim.now, cloud.completed_tasks()
+
+    slow_time, slow_done = storm(1)
+    fast_time, fast_done = storm(4)
+    assert slow_done == fast_done == 48
+    assert fast_time < slow_time / 1.5

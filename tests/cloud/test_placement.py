@@ -1,0 +1,85 @@
+"""Unit tests for the placement engine."""
+
+import random
+
+import pytest
+
+from repro.cloud import PlacementEngine, PlacementError
+from repro.datacenter import Cluster, Datastore, Host, HostState, VirtualMachine
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(entity_id="cluster-1", name="gold")
+    shared = Datastore(entity_id="ds-1", name="lun0", capacity_gb=1000.0)
+    for index in range(3):
+        host = Host(entity_id=f"host-{index}", name=f"esx{index:02d}")
+        cluster.add_host(host)
+        host.mount(shared)
+    return cluster
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        PlacementEngine(policy="best-fit-ish")
+
+
+def test_least_loaded_prefers_empty_host(cluster):
+    engine = PlacementEngine(policy="least_loaded")
+    vm = VirtualMachine(entity_id="vm-1", name="busy")
+    vm.place_on(cluster.hosts[0])
+    chosen = engine.choose_host(cluster)
+    assert chosen is not cluster.hosts[0]
+
+
+def test_round_robin_cycles(cluster):
+    engine = PlacementEngine(policy="round_robin")
+    picks = [engine.choose_host(cluster) for _ in range(6)]
+    assert picks[:3] == cluster.hosts
+    assert picks[3:] == cluster.hosts
+
+
+def test_random_policy_deterministic_with_seed(cluster):
+    a = PlacementEngine(policy="random", rng=random.Random(5))
+    b = PlacementEngine(policy="random", rng=random.Random(5))
+    assert [a.choose_host(cluster).name for _ in range(5)] == [
+        b.choose_host(cluster).name for _ in range(5)
+    ]
+
+
+def test_no_usable_hosts_raises(cluster):
+    for host in cluster.hosts:
+        host.state = HostState.MAINTENANCE
+    with pytest.raises(PlacementError, match="no usable hosts"):
+        PlacementEngine().choose_host(cluster)
+
+
+def test_datastore_needs_free_space(cluster):
+    engine = PlacementEngine()
+    datastore = next(iter(cluster.shared_datastores()))
+    datastore.allocate(995.0)
+    with pytest.raises(PlacementError, match="GB free"):
+        engine.choose_datastore(cluster, required_gb=50.0)
+
+
+def test_datastore_least_loaded_prefers_most_free(cluster):
+    extra = Datastore(entity_id="ds-2", name="lun1", capacity_gb=1000.0)
+    for host in cluster.hosts:
+        host.mount(extra)
+    first = next(ds for ds in cluster.shared_datastores() if ds.entity_id == "ds-1")
+    first.allocate(500.0)
+    chosen = PlacementEngine().choose_datastore(cluster, required_gb=10.0)
+    assert chosen is extra
+
+
+def test_non_shared_datastore_excluded(cluster):
+    private = Datastore(entity_id="ds-2", name="local", capacity_gb=1000.0)
+    cluster.hosts[0].mount(private)
+    chosen = PlacementEngine().choose_datastore(cluster, required_gb=10.0)
+    assert chosen.entity_id == "ds-1"
+
+
+def test_choose_returns_pair(cluster):
+    host, datastore = PlacementEngine().choose(cluster, required_gb=1.0)
+    assert host in cluster.hosts
+    assert datastore in cluster.shared_datastores()

@@ -1,0 +1,37 @@
+"""Shared fixtures for control-plane tests."""
+
+import pytest
+
+from repro.controlplane import ControlPlaneConfig, DEFAULT_COSTS
+from repro.controlplane.database import DatabaseModel
+from repro.controlplane.server import ManagementServer
+from repro.datacenter import Host
+from repro.sim import RandomStreams, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    return RandomStreams(seed=42)
+
+
+@pytest.fixture
+def database(sim, streams):
+    return DatabaseModel(
+        sim, DEFAULT_COSTS, connections=4, rng=streams.stream("db")
+    )
+
+
+@pytest.fixture
+def server(sim, streams):
+    return ManagementServer(sim, streams, config=ControlPlaneConfig())
+
+
+def add_host(server, n=1):
+    host = server.inventory.create(Host, name=f"esx{n:02d}")
+    server.adopt_host(host)
+    return host

@@ -1,0 +1,176 @@
+"""Tests for the event log and alarm subsystem."""
+
+import pytest
+
+from repro.controlplane import AlarmManager, AlarmRule, EventLog, ManagementEvent
+from repro.controlplane.eventlog import (
+    ALERT,
+    INFO,
+    WARNING,
+    datastore_usage_rule,
+    host_memory_rule,
+)
+from repro.datacenter import PowerState, VirtualMachine
+from repro.operations import CloneVM
+
+from tests.operations.conftest import SmallCloud
+
+
+@pytest.fixture
+def cloud():
+    return SmallCloud(seed=6)
+
+
+class TestEventLog:
+    def test_post_and_query(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        log.post("vm.power_on", "vm-1")
+        log.post("vm.crash", "vm-2", severity=ALERT, message="panic")
+        assert len(log.events) == 2
+        assert log.by_severity(ALERT)[0].entity_id == "vm-2"
+        assert log.by_kind("vm.power_on")[0].kind == "vm.power_on"
+        assert log.pending == 2
+
+    def test_invalid_severity_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            ManagementEvent(time=0.0, kind="x", entity_id="e", severity="fatal")
+
+    def test_flusher_drains_to_database(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database, flush_interval_s=5.0)
+        for index in range(10):
+            log.post("op", f"vm-{index}")
+        log.start(until=20.0)
+        writes_before = cloud.server.database.metrics.counter("writes").value
+        cloud.sim.run(until=20.0)
+        cloud.sim.run()
+        assert log.pending == 0
+        assert log.metrics.counter("flushed").value == 10
+        assert cloud.server.database.metrics.counter("writes").value > writes_before
+
+    def test_backlog_drains_in_consecutive_batches(self, cloud):
+        log = EventLog(
+            cloud.sim, cloud.server.database, flush_interval_s=10.0, max_batch=16
+        )
+        for index in range(100):
+            log.post("op", f"vm-{index}")
+        log.start(until=15.0)
+        cloud.sim.run(until=15.0)
+        cloud.sim.run()
+        assert log.pending == 0
+        assert log.metrics.counter("flush_batches").value >= 7
+
+    def test_validation(self, cloud):
+        with pytest.raises(ValueError):
+            EventLog(cloud.sim, cloud.server.database, flush_interval_s=0.0)
+        with pytest.raises(ValueError):
+            EventLog(cloud.sim, cloud.server.database, max_batch=0)
+        log = EventLog(cloud.sim, cloud.server.database)
+        log.start(until=1.0)
+        with pytest.raises(RuntimeError):
+            log.start()
+
+
+class TestTaskEventIntegration:
+    def test_task_completions_emit_events(self, cloud):
+        log = cloud.server.enable_event_logging(until=10_000.0)
+        cloud.run_op(
+            CloneVM(cloud.template, "c1", cloud.hosts[0], cloud.datastores[0], linked=True)
+        )
+        kinds = [event.kind for event in log.events]
+        assert "task.clone_linked" in kinds
+
+    def test_failed_task_emits_warning(self, cloud):
+        log = cloud.server.enable_event_logging(until=10_000.0)
+        orphan = cloud.server.inventory.create(VirtualMachine, name="orphan")
+        from repro.operations import PowerOn
+
+        process = cloud.server.submit(PowerOn(orphan))
+        with pytest.raises(Exception):
+            cloud.sim.run(until=process)
+        assert log.by_severity(WARNING)
+
+    def test_enable_twice_rejected(self, cloud):
+        cloud.server.enable_event_logging(until=1.0)
+        with pytest.raises(RuntimeError):
+            cloud.server.enable_event_logging()
+
+    def test_churn_amplifies_event_volume(self, cloud):
+        """Cloud churn = insert flood: events scale with tasks."""
+        log = cloud.server.enable_event_logging(until=100_000.0)
+        for index in range(20):
+            cloud.run_op(
+                CloneVM(
+                    cloud.template,
+                    f"c{index}",
+                    cloud.hosts[index % 4],
+                    cloud.datastores[0],
+                    linked=True,
+                )
+            )
+        assert log.metrics.counter("posted").value == 20
+
+
+class TestAlarms:
+    def test_datastore_usage_alarm_triggers_and_clears(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        manager = AlarmManager(
+            cloud.server, log, rules=[datastore_usage_rule(0.5)]
+        )
+        datastore = cloud.datastores[0]
+        datastore.allocate(datastore.capacity_gb * 0.6)
+        assert manager.evaluate_once() == 1
+        assert (f"datastore-usage>50%", datastore.entity_id) in manager.active
+        assert log.by_severity(ALERT)
+        datastore.reclaim(datastore.capacity_gb * 0.5)
+        assert manager.evaluate_once() == 1
+        assert not manager.active
+        assert any(event.kind.startswith("alarm.cleared") for event in log.events)
+
+    def test_no_retrigger_while_active(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        manager = AlarmManager(cloud.server, log, rules=[datastore_usage_rule(0.5)])
+        cloud.datastores[0].allocate(cloud.datastores[0].capacity_gb * 0.6)
+        assert manager.evaluate_once() == 1
+        assert manager.evaluate_once() == 0
+        assert manager.metrics.counter("triggered").value == 1
+
+    def test_host_memory_alarm(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        manager = AlarmManager(cloud.server, log, rules=[host_memory_rule(0.5)])
+        host = cloud.hosts[0]
+        vm = cloud.server.inventory.create(
+            VirtualMachine,
+            name="big",
+            memory_gb=host.memory_limit_gb * 0.6,
+            power_state=PowerState.ON,
+        )
+        vm.place_on(host)
+        assert manager.evaluate_once() == 1
+        assert log.by_severity(WARNING)
+
+    def test_periodic_loop(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        manager = AlarmManager(
+            cloud.server, log, rules=[datastore_usage_rule(0.5)], check_interval_s=30.0
+        )
+        manager.start(until=100.0)
+        cloud.datastores[0].allocate(cloud.datastores[0].capacity_gb * 0.7)
+        cloud.sim.run(until=100.0)
+        cloud.sim.run()
+        assert manager.metrics.counter("triggered").value == 1
+
+    def test_validation(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        with pytest.raises(ValueError):
+            AlarmManager(cloud.server, log, check_interval_s=0.0)
+        manager = AlarmManager(cloud.server, log)
+        manager.start(until=1.0)
+        with pytest.raises(RuntimeError):
+            manager.start()
+
+    def test_default_rules_installed(self, cloud):
+        log = EventLog(cloud.sim, cloud.server.database)
+        manager = AlarmManager(cloud.server, log)
+        names = {rule.name for rule in manager.rules}
+        assert any("datastore-usage" in name for name in names)
+        assert any("host-memory" in name for name in names)

@@ -1,0 +1,127 @@
+"""Unit tests for the host-agent channel."""
+
+import dataclasses
+
+import pytest
+
+from repro.controlplane import DEFAULT_COSTS, HostAgent, HostAgentError
+from repro.datacenter import Host, HostState
+from repro.sim import RandomStreams, Simulator
+
+
+def make_agent(sim, op_slots=8, costs=DEFAULT_COSTS, seed=1):
+    host = Host(entity_id="host-1", name="esx01")
+    agent = HostAgent(
+        sim, host, costs, rng=RandomStreams(seed).stream("hostd"), op_slots=op_slots
+    )
+    return host, agent
+
+
+def run_call(sim, agent, kind="op", median=1.0):
+    box = {}
+
+    def proc():
+        box["elapsed"] = yield from agent.call(kind, median)
+
+    process = sim.spawn(proc())
+    sim.run(until=process)
+    return box["elapsed"]
+
+
+def test_call_takes_about_median():
+    sim = Simulator()
+    _, agent = make_agent(sim)
+    elapsed = run_call(sim, agent, median=2.0)
+    assert 0.5 < elapsed < 20.0
+
+
+def test_slots_limit_concurrent_calls():
+    sim = Simulator()
+    _, agent = make_agent(sim, op_slots=1)
+    finishes = []
+
+    def proc():
+        yield from agent.call("op", 1.0)
+        finishes.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert finishes[1] > finishes[0]
+    assert agent.metrics.counter("calls").value == 2
+
+
+def test_unusable_host_raises():
+    sim = Simulator()
+    host, agent = make_agent(sim)
+    host.state = HostState.DISCONNECTED
+
+    def proc():
+        with pytest.raises(HostAgentError, match="disconnected"):
+            yield from agent.call("op", 1.0)
+        yield sim.timeout(0.0)
+
+    process = sim.spawn(proc())
+    sim.run(until=process)
+
+
+def test_injected_failure_raises_once():
+    sim = Simulator()
+    _, agent = make_agent(sim)
+    agent.inject_failure()
+
+    def proc():
+        with pytest.raises(HostAgentError, match="injected"):
+            yield from agent.call("op", 1.0)
+        # Next call succeeds.
+        yield from agent.call("op", 1.0)
+        return "recovered"
+
+    process = sim.spawn(proc())
+    assert sim.run(until=process) == "recovered"
+
+
+def test_call_timeout_surfaces_as_error():
+    sim = Simulator()
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=0.5)
+    _, agent = make_agent(sim, costs=costs)
+
+    def proc():
+        with pytest.raises(HostAgentError, match="timed out"):
+            yield from agent.call("slow-op", 10.0)
+        return sim.now
+
+    process = sim.spawn(proc())
+    # Gave up exactly at the timeout deadline.
+    assert sim.run(until=process) == pytest.approx(0.5)
+    assert agent.metrics.counter("timeouts").value == 1
+
+
+def test_slot_released_after_timeout():
+    sim = Simulator()
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=0.5)
+    _, agent = make_agent(sim, op_slots=1, costs=costs)
+    log = []
+
+    def slow():
+        try:
+            yield from agent.call("slow", 10.0)
+        except HostAgentError:
+            log.append("timeout")
+
+    def fast():
+        yield from agent.call("fast", 0.1)
+        log.append("fast-done")
+
+    sim.spawn(slow())
+    sim.spawn(fast())
+    sim.run()
+    assert log == ["timeout", "fast-done"]
+
+
+def test_utilization_positive_after_calls():
+    sim = Simulator()
+    _, agent = make_agent(sim)
+    run_call(sim, agent)
+    sim.run(until=sim.now + 10.0)
+    assert 0.0 < agent.utilization() <= 1.0

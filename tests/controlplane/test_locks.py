@@ -1,0 +1,252 @@
+"""Unit tests for the lock manager."""
+
+import pytest
+
+from repro.controlplane import LockManager
+from repro.sim import Simulator
+
+
+def test_granularity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        LockManager(sim, granularity="weird")
+
+
+def test_fine_locks_on_disjoint_entities_do_not_block():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+    starts = {}
+
+    def proc(tag, ids):
+        grants = yield from locks.acquire(ids)
+        starts[tag] = sim.now
+        yield sim.timeout(5.0)
+        locks.release(grants)
+
+    sim.spawn(proc("a", ["vm-1"]))
+    sim.spawn(proc("b", ["vm-2"]))
+    sim.run()
+    assert starts == {"a": 0.0, "b": 0.0}
+
+
+def test_fine_locks_on_same_entity_serialize():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+    starts = {}
+
+    def proc(tag):
+        grants = yield from locks.acquire(["vm-1"])
+        starts[tag] = sim.now
+        yield sim.timeout(5.0)
+        locks.release(grants)
+
+    sim.spawn(proc("a"))
+    sim.spawn(proc("b"))
+    sim.run()
+    assert starts["a"] == 0.0
+    assert starts["b"] == 5.0
+
+
+def test_coarse_granularity_serializes_everything():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="coarse")
+    starts = {}
+
+    def proc(tag, ids):
+        grants = yield from locks.acquire(ids)
+        starts[tag] = sim.now
+        yield sim.timeout(5.0)
+        locks.release(grants)
+
+    sim.spawn(proc("a", ["vm-1"]))
+    sim.spawn(proc("b", ["vm-2"]))
+    sim.run()
+    assert sorted(starts.values()) == [0.0, 5.0]
+
+
+def test_overlapping_sets_do_not_deadlock():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+    finished = []
+
+    def proc(tag, ids):
+        grants = yield from locks.acquire(ids)
+        yield sim.timeout(1.0)
+        locks.release(grants)
+        finished.append(tag)
+
+    # Classic deadlock shape if acquisition were unordered.
+    sim.spawn(proc("a", ["vm-1", "vm-2"]))
+    sim.spawn(proc("b", ["vm-2", "vm-1"]))
+    sim.run()
+    assert sorted(finished) == ["a", "b"]
+
+
+def test_duplicate_ids_locked_once():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+    done = []
+
+    def proc():
+        grants = yield from locks.acquire(["vm-1", "vm-1"])
+        assert len(grants) == 1
+        locks.release(grants)
+        done.append(True)
+        yield sim.timeout(0.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [True]
+
+
+def test_contention_metric_records_waits():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+
+    def proc():
+        grants = yield from locks.acquire(["vm-1"])
+        yield sim.timeout(4.0)
+        locks.release(grants)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    # Two acquisitions: waits 0 and 4 → mean 2.
+    assert locks.contention() == pytest.approx(2.0)
+
+
+def test_lock_scope_acquire_release_pair():
+    sim = Simulator()
+    locks = LockManager(sim, granularity="fine")
+    order = []
+
+    def proc(tag):
+        scope = locks.holding(["vm-9"])
+        grants = yield from scope.acquire()
+        order.append(tag)
+        try:
+            yield sim.timeout(1.0)
+        finally:
+            scope.release(grants)
+
+    sim.spawn(proc("first"))
+    sim.spawn(proc("second"))
+    sim.run()
+    assert order == ["first", "second"]
+
+
+class TestReaderWriter:
+    def test_concurrent_readers_admitted_together(self):
+        from repro.sim import Simulator
+        from repro.controlplane import LockManager
+
+        sim = Simulator()
+        locks = LockManager(sim, granularity="fine")
+        starts = {}
+
+        def reader(tag):
+            grants = yield from locks.acquire([], read_ids=["template-1"])
+            starts[tag] = sim.now
+            yield sim.timeout(5.0)
+            locks.release(grants)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(reader(tag))
+        sim.run()
+        assert set(starts.values()) == {0.0}
+
+    def test_writer_excludes_readers(self):
+        from repro.sim import Simulator
+        from repro.controlplane import LockManager
+
+        sim = Simulator()
+        locks = LockManager(sim, granularity="fine")
+        log = []
+
+        def writer():
+            grants = yield from locks.acquire(["template-1"])
+            log.append(("w-start", sim.now))
+            yield sim.timeout(5.0)
+            locks.release(grants)
+
+        def reader():
+            yield sim.timeout(1.0)
+            grants = yield from locks.acquire([], read_ids=["template-1"])
+            log.append(("r-start", sim.now))
+            locks.release(grants)
+
+        sim.spawn(writer())
+        sim.spawn(reader())
+        sim.run()
+        assert ("w-start", 0.0) in log
+        assert ("r-start", 5.0) in log
+
+    def test_writer_not_starved_by_reader_stream(self):
+        from repro.sim import Simulator
+        from repro.controlplane import LockManager
+
+        sim = Simulator()
+        locks = LockManager(sim, granularity="fine")
+        write_time = []
+
+        def reader(delay):
+            yield sim.timeout(delay)
+            grants = yield from locks.acquire([], read_ids=["t"])
+            yield sim.timeout(3.0)
+            locks.release(grants)
+
+        def writer():
+            yield sim.timeout(1.0)
+            grants = yield from locks.acquire(["t"])
+            write_time.append(sim.now)
+            locks.release(grants)
+
+        # Readers arrive continuously; fair FIFO must let the writer in
+        # after the readers that arrived before it drain.
+        for delay in (0.0, 0.5, 2.0, 2.5, 3.0):
+            sim.spawn(reader(delay))
+        sim.spawn(writer())
+        sim.run()
+        assert write_time[0] == 3.5  # after the two pre-writer readers
+
+    def test_same_id_read_and_write_locks_as_write(self):
+        from repro.sim import Simulator
+        from repro.controlplane import LockManager
+        from repro.controlplane.locks import WRITE
+
+        sim = Simulator()
+        locks = LockManager(sim, granularity="fine")
+        modes = []
+
+        def proc():
+            grants = yield from locks.acquire(["x"], read_ids=["x"])
+            modes.extend(grant.mode for grant in grants)
+            locks.release(grants)
+            yield sim.timeout(0.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert modes == [WRITE]
+
+    def test_release_unheld_raises(self):
+        from repro.sim import Simulator
+        from repro.controlplane.locks import RWGrant, RWLock, READ, WRITE
+
+        import pytest
+
+        sim = Simulator()
+        lock = RWLock(sim)
+        with pytest.raises(RuntimeError):
+            lock.release(RWGrant(lock, WRITE))
+        with pytest.raises(RuntimeError):
+            lock.release(RWGrant(lock, READ))
+
+    def test_invalid_mode_rejected(self):
+        from repro.sim import Simulator
+        from repro.controlplane.locks import RWLock
+
+        import pytest
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RWLock(sim).acquire("exclusive-ish")

@@ -1,0 +1,79 @@
+"""Stateful property test: the RW lock never violates its exclusion rules
+under arbitrary interleavings of acquire/release requests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.locks import READ, RWLock, WRITE
+from repro.sim import Simulator
+
+
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from([READ, WRITE]),
+            st.floats(min_value=0.0, max_value=10.0),   # arrival offset
+            st.floats(min_value=0.01, max_value=5.0),   # hold duration
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_rwlock_exclusion_invariants(script):
+    sim = Simulator()
+    lock = RWLock(sim, name="t")
+    violations = []
+    state = {"readers": 0, "writer": False}
+    grants_seen = [0]
+
+    def holder(mode, offset, duration):
+        yield sim.timeout(offset)
+        grant = yield lock.acquire(mode)
+        grants_seen[0] += 1
+        if mode == WRITE:
+            if state["readers"] or state["writer"]:
+                violations.append(("write-while-busy", dict(state)))
+            state["writer"] = True
+        else:
+            if state["writer"]:
+                violations.append(("read-while-written", dict(state)))
+            state["readers"] += 1
+        yield sim.timeout(duration)
+        if mode == WRITE:
+            state["writer"] = False
+        else:
+            state["readers"] -= 1
+        lock.release(grant)
+
+    for mode, offset, duration in script:
+        sim.spawn(holder(mode, offset, duration))
+    sim.run()
+    assert violations == []
+    assert grants_seen[0] == len(script)   # nobody starves
+    assert lock.idle
+    assert state == {"readers": 0, "writer": False}
+
+
+@given(
+    writers=st.integers(min_value=1, max_value=5),
+    readers=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_rwlock_all_waiters_eventually_served(writers, readers):
+    sim = Simulator()
+    lock = RWLock(sim)
+    served = []
+
+    def client(mode, tag):
+        grant = yield lock.acquire(mode)
+        yield sim.timeout(1.0)
+        lock.release(grant)
+        served.append(tag)
+
+    for index in range(writers):
+        sim.spawn(client(WRITE, f"w{index}"))
+    for index in range(readers):
+        sim.spawn(client(READ, f"r{index}"))
+    sim.run()
+    assert len(served) == writers + readers

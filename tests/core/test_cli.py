@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cloud_a" in out
+    assert "R-F3" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "R-T1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "R-T1" in out
+    assert "classic_dc" in out
+
+
+def test_storm_command(capsys):
+    assert main(["storm", "--clones", "8", "--concurrency", "4", "--hosts", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "linked storm: 8 clones" in out
+    assert "bottleneck" in out
+
+
+def test_storm_full_mode(capsys):
+    assert main(["storm", "--clones", "2", "--full", "--hosts", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "full storm" in out
+    assert "data written: 80 GB" in out
+
+
+def test_profile_command_with_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.csv"
+    assert (
+        main(
+            [
+                "profile",
+                "classic_dc",
+                "--hours",
+                "0.5",
+                "--seed",
+                "2",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Operation mix" in out
+    assert trace_path.exists()
+    from repro.traces import read_csv
+
+    assert isinstance(read_csv(trace_path), list)
+
+
+def test_profile_trace_bad_extension(tmp_path, capsys):
+    code = main(
+        ["profile", "classic_dc", "--hours", "0.1", "--trace-out", str(tmp_path / "t.xml")]
+    )
+    assert code == 2
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["profile", "not-a-cloud"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "R-F99"])

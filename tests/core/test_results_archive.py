@@ -1,0 +1,85 @@
+"""Tests for the result archive."""
+
+import pytest
+
+from repro.core.experiments import ExperimentResult
+from repro.results import ResultArchive
+
+
+def make_result(exp_id="R-T1", rows=None):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title="Example exhibit",
+        headers=["setup", "hosts"],
+        rows=rows or [["cloud_a", "32"], ["cloud_b", "16"]],
+        series={"line": [(1.0, 2.0), (2.0, 4.0)]},
+        notes="a note",
+    )
+
+
+def test_store_and_load_roundtrip(tmp_path):
+    archive = ResultArchive(tmp_path)
+    stored = archive.store(make_result(), seed=3, quick=True, tags={"run": "ci"})
+    loaded = archive.load(stored.key())
+    assert loaded.exp_id == "R-T1"
+    assert loaded.seed == 3
+    assert loaded.quick is True
+    assert loaded.tags == {"run": "ci"}
+    assert loaded.result.rows == [["cloud_a", "32"], ["cloud_b", "16"]]
+    assert loaded.result.series == {"line": [(1.0, 2.0), (2.0, 4.0)]}
+    assert loaded.result.render()  # renders without error
+
+
+def test_key_format(tmp_path):
+    archive = ResultArchive(tmp_path)
+    stored = archive.store(make_result(), seed=7, quick=False)
+    assert stored.key() == "R-T1-seed7-full"
+    assert archive.keys() == ["R-T1-seed7-full"]
+
+
+def test_load_missing_raises(tmp_path):
+    with pytest.raises(KeyError):
+        ResultArchive(tmp_path).load("nope")
+
+
+def test_diff_identical_is_empty(tmp_path):
+    archive = ResultArchive(tmp_path)
+    a = archive.store(make_result(), seed=1, quick=True)
+    b = archive.store(make_result(), seed=2, quick=True)
+    assert archive.diff(a.key(), b.key()) == []
+
+
+def test_diff_reports_cell_changes(tmp_path):
+    archive = ResultArchive(tmp_path)
+    a = archive.store(make_result(), seed=1, quick=True)
+    b = archive.store(
+        make_result(rows=[["cloud_a", "64"], ["cloud_b", "16"]]), seed=2, quick=True
+    )
+    differences = archive.diff(a.key(), b.key())
+    assert any("cloud_a" in diff and "32 -> 64" in diff for diff in differences)
+
+
+def test_diff_reports_missing_rows(tmp_path):
+    archive = ResultArchive(tmp_path)
+    a = archive.store(make_result(), seed=1, quick=True)
+    b = archive.store(make_result(rows=[["cloud_a", "32"]]), seed=2, quick=True)
+    differences = archive.diff(a.key(), b.key())
+    assert any("only in one run" in diff for diff in differences)
+
+
+def test_diff_mismatched_experiments_rejected(tmp_path):
+    archive = ResultArchive(tmp_path)
+    a = archive.store(make_result("R-T1"), seed=1, quick=True)
+    b = archive.store(make_result("R-F3"), seed=1, quick=True)
+    with pytest.raises(ValueError):
+        archive.diff(a.key(), b.key())
+
+
+def test_archive_with_real_experiment(tmp_path):
+    from repro import run_experiment
+
+    archive = ResultArchive(tmp_path)
+    result = run_experiment("R-T1", quick=True)
+    stored = archive.store(result, seed=0, quick=True)
+    loaded = archive.load(stored.key())
+    assert loaded.result.rows == [[str(c) for c in row] for row in result.rows]

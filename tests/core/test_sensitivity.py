@@ -1,0 +1,87 @@
+"""Tests for the sensitivity-sweep harness."""
+
+import pytest
+
+from repro.core import sweep
+from repro.core.sensitivity import _apply
+
+
+class TestApply:
+    def test_costs_field(self):
+        costs, config = _apply("costs.db_write_s", 0.1)
+        assert costs.db_write_s == 0.1
+        assert config.cpu_workers == 4  # untouched default
+
+    def test_config_field(self):
+        costs, config = _apply("config.cpu_workers", 8)
+        assert config.cpu_workers == 8
+        assert costs.db_write_s == 0.04
+
+    def test_unknown_namespace(self):
+        with pytest.raises(ValueError, match="unknown namespace"):
+            _apply("knobs.cpu_workers", 8)
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            _apply("config.flux_capacitor", 8)
+        with pytest.raises(ValueError, match="unknown costs field"):
+            _apply("costs.flux_capacitor", 8)
+
+    def test_malformed_parameter(self):
+        with pytest.raises(ValueError, match="costs.<field>"):
+            _apply("cpu_workers", 8)
+
+
+class TestSweep:
+    def test_cpu_workers_sweep_improves_throughput(self):
+        result = sweep(
+            "config.cpu_workers", [2, 8], seed=1, total=24, concurrency=16, hosts=8
+        )
+        throughputs = [float(row[1]) for row in result.rows]
+        assert throughputs[1] > throughputs[0]
+        assert result.rows[0][2] == "1.00x"
+        assert "cpu_workers" in result.title
+
+    def test_irrelevant_knob_is_flat(self):
+        result = sweep(
+            "config.copy_slots_per_datastore",
+            [2, 16],
+            seed=1,
+            total=24,
+            concurrency=16,
+            hosts=8,
+        )
+        throughputs = [float(row[1]) for row in result.rows]
+        assert throughputs[1] == pytest.approx(throughputs[0], rel=0.15)
+
+    def test_costs_sweep_slows_down(self):
+        result = sweep(
+            "costs.placement_s", [0.6, 6.0], seed=1, total=24, concurrency=16, hosts=8
+        )
+        throughputs = [float(row[1]) for row in result.rows]
+        assert throughputs[1] < throughputs[0]
+
+    def test_series_present_for_numeric_values(self):
+        result = sweep("config.cpu_workers", [2, 4], seed=1, total=12, concurrency=8, hosts=4)
+        assert "clones/hour" in result.series
+        assert len(result.series["clones/hour"]) == 2
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep("config.cpu_workers", [])
+
+
+def test_cli_sweep_command(capsys):
+    from repro.cli import main
+
+    assert (
+        main(["sweep", "config.cpu_workers", "2,4", "--clones", "12"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "SWEEP:config.cpu_workers" in out
+
+
+def test_cli_sweep_bad_parameter(capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "bogus", "1,2"]) == 2

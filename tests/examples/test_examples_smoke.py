@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs end-to-end with small arguments.
+
+These execute the scripts as subprocesses (the same way a user would) and
+assert a clean exit plus the landmark lines of their output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    (
+        "quickstart.py",
+        ["--duration", "0.25", "--profile", "classic_dc", "--seed", "3"],
+        ["Operation mix", "Plane attribution", "Most-utilized"],
+    ),
+    (
+        "clone_storm.py",
+        ["--clones", "8", "--hosts", "4"],
+        ["Clone storm", "linked", "full", "bottleneck"],
+    ),
+    (
+        "selfservice_day.py",
+        ["--hours", "1", "--tenants", "2", "--seed", "4"],
+        ["A day of self-service", "management tasks completed"],
+    ),
+    (
+        "scaleout_design.py",
+        ["--clones", "16"],
+        ["Tuning one management server", "R-F9"],
+    ),
+    (
+        "failure_recovery.py",
+        ["--vms", "4"],
+        ["host failure + HA restart", "maintenance rotation"],
+    ),
+    (
+        "whatif_replay.py",
+        ["--hours", "0.2", "--seed", "2"],
+        ["What-if comparison", "overall mean latency"],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,landmarks", CASES, ids=[case[0] for case in CASES]
+)
+def test_example_runs_clean(script, args, landmarks):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for landmark in landmarks:
+        assert landmark in completed.stdout, (
+            f"{script}: {landmark!r} missing from output:\n"
+            f"{completed.stdout[:2000]}"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {case[0] for case in CASES}
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"

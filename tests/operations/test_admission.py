@@ -1,0 +1,118 @@
+"""Tests for host memory admission control."""
+
+import pytest
+
+from repro.cloud import PlacementEngine, PlacementError
+from repro.datacenter import PowerState, VirtualDisk, VirtualMachine
+from repro.operations import CloneVM, MigrateVM, OperationError, PowerOn
+from repro.storage.linked_clone import create_linked_backing
+
+from tests.operations.conftest import SmallCloud
+
+
+def make_resident(cloud, host, memory_gb, powered_on=True, n=[0]):
+    n[0] += 1
+    vm = cloud.server.inventory.create(
+        VirtualMachine,
+        name=f"resident-{n[0]}",
+        memory_gb=memory_gb,
+        power_state=PowerState.ON if powered_on else PowerState.OFF,
+    )
+    backing = create_linked_backing(
+        cloud.template.disks[0].backing, cloud.datastores[0]
+    )
+    vm.attach_disk(VirtualDisk(label="d0", backing=backing, provisioned_gb=40.0))
+    vm.place_on(host)
+    return vm
+
+
+def test_host_memory_accounting(cloud):
+    host = cloud.hosts[0]
+    make_resident(cloud, host, 32.0)
+    make_resident(cloud, host, 16.0, powered_on=False)
+    assert host.memory_in_use_gb == 32.0
+    assert host.memory_limit_gb == pytest.approx(128.0 * 1.5)
+    assert host.can_admit(100.0)
+    assert not host.can_admit(200.0)
+
+
+def test_power_on_rejected_when_host_full(cloud):
+    host = cloud.hosts[0]
+    host.memory_overcommit = 1.0
+    make_resident(cloud, host, 120.0)
+    victim = make_resident(cloud, host, 16.0, powered_on=False)
+    process = cloud.server.submit(PowerOn(victim))
+    with pytest.raises(OperationError, match="cannot admit"):
+        cloud.sim.run(until=process)
+    assert victim.power_state == PowerState.OFF
+
+
+def test_power_on_succeeds_within_overcommit(cloud):
+    host = cloud.hosts[0]
+    make_resident(cloud, host, 120.0)  # limit is 192 GB
+    victim = make_resident(cloud, host, 16.0, powered_on=False)
+    task = cloud.run_op(PowerOn(victim))
+    assert task.result.power_state == PowerState.ON
+
+
+def test_admission_race_caught_under_lock(cloud):
+    """Two power-ons race for the last admission slot; one loses cleanly."""
+    host = cloud.hosts[0]
+    host.memory_overcommit = 1.0
+    make_resident(cloud, host, 60.0)
+    first = make_resident(cloud, host, 60.0, powered_on=False)
+    second = make_resident(cloud, host, 60.0, powered_on=False)
+    p1 = cloud.server.submit(PowerOn(first))
+    p2 = cloud.server.submit(PowerOn(second))
+    cloud.sim.run()
+    outcomes = sorted([p1.ok, p2.ok])
+    assert outcomes == [False, True]
+    assert host.memory_in_use_gb <= host.memory_limit_gb
+
+
+def test_placement_filters_by_memory(cloud):
+    for host in cloud.hosts:
+        host.memory_overcommit = 1.0
+    # Fill all but hosts[2].
+    for host in (cloud.hosts[0], cloud.hosts[1], cloud.hosts[3]):
+        make_resident(cloud, host, 128.0)
+    engine = PlacementEngine()
+    chosen = engine.choose_host(cloud.cluster, memory_gb=64.0)
+    assert chosen is cloud.hosts[2]
+
+
+def test_placement_raises_when_nothing_fits(cloud):
+    for host in cloud.hosts:
+        host.memory_overcommit = 1.0
+        make_resident(cloud, host, 128.0)
+    with pytest.raises(PlacementError, match="can admit"):
+        PlacementEngine().choose_host(cloud.cluster, memory_gb=8.0)
+
+
+def test_migrate_rejected_when_destination_full(cloud):
+    source_vm = make_resident(cloud, cloud.hosts[0], 8.0)
+    destination = cloud.hosts[1]
+    destination.memory_overcommit = 1.0
+    make_resident(cloud, destination, 128.0)
+    process = cloud.server.submit(MigrateVM(source_vm, destination))
+    with pytest.raises(OperationError, match="cannot admit"):
+        cloud.sim.run(until=process)
+
+
+def test_ha_loses_vms_when_cluster_is_full(cloud):
+    """Degraded-cluster reality: restarts fail when nothing can admit."""
+    from repro.cloud import HAManager
+
+    for host in cloud.hosts:
+        host.memory_overcommit = 1.0
+        make_resident(cloud, host, 124.0)
+    victim_host = cloud.hosts[0]
+    ha = HAManager(cloud.server, cloud.cluster)
+    box = {}
+
+    def proc():
+        box["counts"] = yield from ha.fail_host(victim_host)
+
+    cloud.sim.run(until=cloud.sim.spawn(proc()))
+    assert box["counts"]["lost"] == 1
+    assert box["counts"]["restarted"] == 0

@@ -1,0 +1,116 @@
+"""Property-based tests on DES kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator
+from repro.sim.stats import LatencyRecorder
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.spawn(proc(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    durations=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity_and_serves_all(durations, capacity):
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    served = []
+    max_seen = [0]
+
+    def proc(duration):
+        request = resource.request()
+        yield request
+        max_seen[0] = max(max_seen[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield sim.timeout(duration)
+        resource.release(request)
+        served.append(duration)
+
+    for duration in durations:
+        sim.spawn(proc(duration))
+    sim.run()
+    assert len(served) == len(durations)
+    assert max_seen[0] <= capacity
+    assert resource.in_use == 0
+    assert resource.queue_depth == 0
+
+
+@given(
+    durations=st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=2, max_size=25)
+)
+@settings(max_examples=40, deadline=None)
+def test_single_server_busy_time_equals_sum_of_service(durations):
+    """Work conservation: a capacity-1 server finishes at sum(durations)."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    finish = [0.0]
+
+    def proc(duration):
+        request = resource.request()
+        yield request
+        yield sim.timeout(duration)
+        resource.release(request)
+        finish[0] = sim.now
+
+    for duration in durations:
+        sim.spawn(proc(duration))
+    sim.run()
+    assert abs(finish[0] - sum(durations)) < 1e-6 * max(1.0, sum(durations))
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_latency_recorder_percentiles_bounded_and_ordered(values):
+    recorder = LatencyRecorder("x")
+    for value in values:
+        recorder.record(value)
+    p50 = recorder.percentile(0.5)
+    p95 = recorder.percentile(0.95)
+    p99 = recorder.percentile(0.99)
+    assert min(values) <= p50 <= p95 <= p99 <= max(values)
+    # The mean may drift by an ulp from summation rounding.
+    slack = 1e-9 * max(1.0, max(values))
+    assert min(values) - slack <= recorder.mean <= max(values) + slack
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    count=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic_under_seed(seed, count):
+    from repro.sim import RandomStreams
+
+    def run_once():
+        sim = Simulator()
+        rng = RandomStreams(seed).stream("delays")
+        log = []
+
+        def proc(index):
+            yield sim.timeout(rng.random() * 10)
+            log.append((sim.now, index))
+
+        for index in range(count):
+            sim.spawn(proc(index))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,152 @@
+"""Unit tests for metrics primitives."""
+
+import pytest
+
+from repro.sim import Counter, Gauge, Histogram, LatencyRecorder, MetricsRegistry, Simulator, TimeSeries
+
+
+def test_counter_accumulates():
+    counter = Counter("ops")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("ops")
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_gauge_time_average():
+    sim = Simulator()
+    gauge = Gauge(sim, "depth")
+
+    def proc():
+        gauge.set(2.0)          # level 2 on [0, 4)
+        yield sim.timeout(4.0)
+        gauge.set(6.0)          # level 6 on [4, 8)
+        yield sim.timeout(4.0)
+        gauge.set(0.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert gauge.time_average() == pytest.approx((2 * 4 + 6 * 4) / 8)
+    assert gauge.maximum == 6.0
+
+
+def test_gauge_time_average_since_window():
+    sim = Simulator()
+    gauge = Gauge(sim, "depth")
+
+    def proc():
+        gauge.set(10.0)
+        yield sim.timeout(5.0)
+        gauge.set(0.0)
+        yield sim.timeout(5.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert gauge.time_average(since=5.0) == pytest.approx(0.0)
+    assert gauge.time_average(since=0.0) == pytest.approx(5.0)
+
+
+def test_gauge_add_is_relative():
+    sim = Simulator()
+    gauge = Gauge(sim, "depth")
+    gauge.add(3)
+    gauge.add(-1)
+    assert gauge.value == 2
+
+
+def test_latency_percentiles():
+    recorder = LatencyRecorder("lat")
+    for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        recorder.record(value)
+    assert recorder.percentile(0.0) == 1.0
+    assert recorder.percentile(0.5) == 3.0
+    assert recorder.percentile(1.0) == 5.0
+    assert recorder.percentile(0.25) == 2.0
+    assert recorder.mean == 3.0
+    assert recorder.count == 5
+
+
+def test_latency_empty_percentile_is_zero():
+    recorder = LatencyRecorder("lat")
+    assert recorder.percentile(0.99) == 0.0
+    assert recorder.mean == 0.0
+
+
+def test_latency_rejects_bad_inputs():
+    recorder = LatencyRecorder("lat")
+    with pytest.raises(ValueError):
+        recorder.record(-1.0)
+    recorder.record(1.0)
+    with pytest.raises(ValueError):
+        recorder.percentile(1.5)
+
+
+def test_latency_cdf_is_monotone_and_complete():
+    recorder = LatencyRecorder("lat")
+    for value in range(100):
+        recorder.record(float(value))
+    cdf = recorder.cdf(points=10)
+    fractions = [fraction for _, fraction in cdf]
+    assert fractions == sorted(fractions)
+    assert cdf[-1][1] == 1.0
+    values = [value for value, _ in cdf]
+    assert values == sorted(values)
+
+
+def test_histogram_binning():
+    histogram = Histogram("depth", edges=[0, 1, 2, 4])
+    for value in [0, 0.5, 1, 3, 5, -1]:
+        histogram.record(value)
+    assert histogram.counts == [2, 1, 1]
+    assert histogram.overflow == 1
+    assert histogram.underflow == 1
+    assert histogram.total == 6
+
+
+def test_histogram_validates_edges():
+    with pytest.raises(ValueError):
+        Histogram("bad", edges=[2, 1])
+    with pytest.raises(ValueError):
+        Histogram("bad", edges=[1])
+
+
+def test_timeseries_bins_and_gap_fill():
+    series = TimeSeries("arrivals", bin_width=10.0)
+    series.record(1.0)
+    series.record(5.0)
+    series.record(35.0, amount=2.0)
+    bins = series.bins()
+    assert bins == [(0.0, 2.0), (10.0, 0.0), (20.0, 0.0), (30.0, 2.0)]
+
+
+def test_timeseries_empty():
+    series = TimeSeries("arrivals", bin_width=10.0)
+    assert series.bins() == []
+
+
+def test_timeseries_validates_width():
+    with pytest.raises(ValueError):
+        TimeSeries("bad", bin_width=0.0)
+
+
+def test_registry_reuses_metrics_by_name():
+    sim = Simulator()
+    registry = MetricsRegistry(sim, prefix="host1")
+    first = registry.counter("ops")
+    second = registry.counter("ops")
+    assert first is second
+    assert "ops" in registry
+    assert "host1.ops" in registry.all()
+
+
+def test_registry_prefix_isolation():
+    sim = Simulator()
+    one = MetricsRegistry(sim, prefix="a")
+    two = MetricsRegistry(sim, prefix="b")
+    one.counter("ops").add(5)
+    assert two.counter("ops").value == 0

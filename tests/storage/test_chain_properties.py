@@ -1,0 +1,82 @@
+"""Property tests: conservation laws of the backing-chain algebra."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import Datastore, DiskBacking, VirtualDisk
+from repro.storage.linked_clone import (
+    create_linked_backing,
+    merge_leaf_into_parent,
+)
+
+
+def fresh_datastore():
+    return Datastore(entity_id="ds-1", name="lun", capacity_gb=1e9)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=10)
+)
+@settings(max_examples=60, deadline=None)
+def test_logical_size_is_sum_of_chain(sizes):
+    datastore = fresh_datastore()
+    backing = DiskBacking(datastore=datastore, size_gb=sizes[0], read_only=True)
+    for size in sizes[1:]:
+        backing = create_linked_backing(backing, datastore, initial_gb=size)
+        backing.read_only = True
+    assert backing.logical_size_gb == pytest.approx(sum(sizes))
+    assert backing.chain_depth == len(sizes)
+
+
+@given(
+    base_gb=st.floats(min_value=1.0, max_value=100.0),
+    writes=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_conserves_logical_size_and_datastore_usage(base_gb, writes):
+    """Merging deltas never changes the logical disk contents or the net
+    allocated bytes (bytes move between files, they don't appear/vanish)."""
+    datastore = fresh_datastore()
+    base = DiskBacking(datastore=datastore, size_gb=base_gb)
+    datastore.allocate(base_gb)
+    disk = VirtualDisk(label="d", backing=base, provisioned_gb=base_gb)
+    # Build a private snapshot chain with synthetic guest writes.
+    for written in writes:
+        leaf = disk.backing
+        leaf.read_only = True
+        delta = create_linked_backing(leaf, datastore, initial_gb=0.0)
+        datastore.allocate(written)
+        delta.size_gb += written
+        disk.backing = delta
+    logical_before = disk.backing.logical_size_gb
+    used_before = datastore.used_gb
+    # Merge all the way back down.
+    while disk.backing.parent is not None:
+        merge_leaf_into_parent(disk)
+    assert disk.chain_depth == 1
+    assert disk.backing.logical_size_gb == pytest.approx(logical_before)
+    assert datastore.used_gb == pytest.approx(used_before)
+
+
+@given(
+    fanout=st.integers(min_value=1, max_value=20),
+    destroy_order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_anchor_children_return_to_zero_after_all_clones_die(fanout, destroy_order):
+    datastore = fresh_datastore()
+    anchor = DiskBacking(datastore=datastore, size_gb=40.0, read_only=True)
+    deltas = [create_linked_backing(anchor, datastore) for _ in range(fanout)]
+    assert anchor.children == fanout
+    destroy_order.shuffle(deltas)
+    for delta in deltas:
+        # DestroyVM's reclamation rule for leaves.
+        if delta.children == 0:
+            delta.datastore.reclaim(delta.size_gb)
+            delta.parent.children -= 1
+    assert anchor.children == 0
+    # Only the anchor's own bytes remain allocated (it was never charged
+    # here, so usage is back to zero).
+    assert datastore.used_gb == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,96 @@
+"""Mechanism checks: measured ceilings equal their first-principles values.
+
+R-F3's two plateaus are not arbitrary numbers — each is a closed-form
+consequence of the configuration. These tests recompute the predictions
+from the constants and require the simulation to land on them, so any
+future change that breaks the mechanism (not just the numbers) fails
+loudly.
+"""
+
+import math
+
+import pytest
+
+from repro.controlplane import ControlPlaneConfig, DEFAULT_COSTS
+from repro.core.experiments import StormRig
+from repro.storage.copy_engine import GB
+
+
+def test_full_clone_ceiling_equals_storage_plane_capacity():
+    """Full clones flatline at datastores x copy_slots x bandwidth / size."""
+    datastores = 2
+    rig = StormRig(seed=3, hosts=8, datastores=datastores)
+    outcome = rig.closed_loop_storm(total=48, concurrency=48, linked=False)
+
+    bandwidth_bps = rig.server.copy_engine.default_capacity_bps
+    disk_gb = rig.template.total_disk_gb
+    # Copy slots cap concurrency per datastore, but the *link* is the
+    # binding resource: each datastore delivers bandwidth_bps regardless
+    # of how many slots share it.
+    predicted_per_hour = datastores * bandwidth_bps / (disk_gb * GB) * 3600.0
+    assert outcome["throughput_per_hour"] == pytest.approx(
+        predicted_per_hour, rel=0.10
+    )
+
+
+def test_linked_clone_ceiling_equals_cpu_pool_capacity():
+    """Linked clones flatline at cpu_workers / E[cpu seconds per clone].
+
+    Per-clone CPU phases: validate + placement + commit. Service times are
+    lognormal around the medians, so E[X] = median * exp(sigma^2 / 2).
+    """
+    config = ControlPlaneConfig()
+    rig = StormRig(seed=3, hosts=16, datastores=4, config=config)
+    outcome = rig.closed_loop_storm(total=96, concurrency=64, linked=True)
+
+    costs = DEFAULT_COSTS
+    median_cpu = costs.api_validate_s + costs.placement_s + costs.result_commit_s
+    mean_factor = math.exp(costs.sigma**2 / 2.0)
+    predicted_per_hour = config.cpu_workers / (median_cpu * mean_factor) * 3600.0
+    assert outcome["throughput_per_hour"] == pytest.approx(
+        predicted_per_hour, rel=0.15
+    )
+
+
+def test_linked_ceiling_scales_with_cpu_workers():
+    """Doubling the op-thread pool doubles the linked ceiling (±20%)."""
+
+    def ceiling(workers):
+        rig = StormRig(
+            seed=3,
+            hosts=16,
+            datastores=4,
+            config=ControlPlaneConfig(cpu_workers=workers),
+        )
+        return rig.closed_loop_storm(total=96, concurrency=64, linked=True)[
+            "throughput_per_hour"
+        ]
+
+    assert ceiling(8) == pytest.approx(2 * ceiling(4), rel=0.20)
+
+
+def test_full_ceiling_scales_with_datastores():
+    """Adding datastores adds storage lanes: ceiling scales linearly."""
+
+    def ceiling(datastores):
+        rig = StormRig(seed=3, hosts=8, datastores=datastores)
+        return rig.closed_loop_storm(total=32, concurrency=32, linked=False)[
+            "throughput_per_hour"
+        ]
+
+    assert ceiling(4) == pytest.approx(2 * ceiling(2), rel=0.15)
+
+
+def test_vmotion_memory_copy_time_exact():
+    """The vMotion data phase is memory_gb / vmotion_bps, exactly."""
+    from repro.operations import CloneVM, MigrateVM, PowerOn
+
+    rig = StormRig(seed=4, hosts=4, datastores=2)
+    process = rig.server.submit(
+        CloneVM(rig.template, "m", rig.hosts[0], rig.datastores[0], linked=True)
+    )
+    vm = rig.sim.run(until=process).result
+    rig.sim.run(until=rig.server.submit(PowerOn(vm)))
+    task = rig.sim.run(until=rig.server.submit(MigrateVM(vm, rig.hosts[1])))
+    expected = vm.memory_gb * 1024**3 / DEFAULT_COSTS.vmotion_bps
+    assert task.plane_seconds("data") == pytest.approx(expected, rel=1e-6)

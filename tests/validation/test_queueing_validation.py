@@ -1,0 +1,158 @@
+"""Validation: the simulator matches closed-form queueing theory.
+
+These tests build the textbook systems out of the same primitives the
+control-plane model uses (Resource pools, FairShareLink) and check the
+simulated means against M/M/1, M/M/c, and processor-sharing formulas.
+Agreement here is what licenses trusting the model where no closed form
+exists.
+"""
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mm1_mean_wait,
+    mmc_mean_wait,
+    processor_sharing_mean_response,
+    utilization,
+)
+from repro.sim import RandomStreams, Resource, Simulator
+from repro.storage import FairShareLink
+
+
+def simulate_mmc(arrival_rate, service_rate, servers, jobs, seed=1):
+    """An M/M/c queue from kernel primitives; returns mean queue wait."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    arrivals_rng = streams.stream("arrivals")
+    service_rng = streams.stream("service")
+    pool = Resource(sim, capacity=servers)
+    waits = []
+
+    def job():
+        request = pool.request()
+        enqueued = sim.now
+        yield request
+        waits.append(sim.now - enqueued)
+        yield sim.timeout(service_rng.expovariate(service_rate))
+        pool.release(request)
+
+    def source():
+        for _ in range(jobs):
+            yield sim.timeout(arrivals_rng.expovariate(arrival_rate))
+            sim.spawn(job())
+
+    sim.spawn(source())
+    sim.run()
+    # Discard warmup.
+    steady = waits[len(waits) // 10 :]
+    return sum(steady) / len(steady)
+
+
+class TestFormulas:
+    def test_mm1_wait_formula(self):
+        # rho=0.5, mu=1: Wq = 0.5/(1-0.5)/1 = 1.0
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_mm1_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_wait(1.0, 1.0)
+
+    def test_erlang_c_single_server_equals_rho(self):
+        # For c=1, P(wait) = rho.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_erlang_c_decreases_with_servers(self):
+        load = 2.0
+        probabilities = [erlang_c(c, load) for c in (3, 4, 6, 10)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_erlang_c_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.5)
+
+    def test_utilization(self):
+        assert utilization(2.0, 1.0, servers=4) == pytest.approx(0.5)
+
+
+class TestSimulatorAgainstTheory:
+    def test_mm1_queue_wait_matches(self):
+        arrival, service = 0.7, 1.0
+        simulated = simulate_mmc(arrival, service, servers=1, jobs=60_000)
+        theory = mm1_mean_wait(arrival, service)
+        assert simulated == pytest.approx(theory, rel=0.08)
+
+    def test_mm4_queue_wait_matches_erlang_c(self):
+        arrival, service, servers = 3.2, 1.0, 4
+        simulated = simulate_mmc(arrival, service, servers, jobs=60_000)
+        theory = mmc_mean_wait(arrival, service, servers)
+        assert simulated == pytest.approx(theory, rel=0.10)
+
+    def test_low_load_waits_are_negligible(self):
+        simulated = simulate_mmc(0.1, 1.0, servers=4, jobs=5_000)
+        assert simulated < 0.01
+
+    def test_fair_share_link_matches_processor_sharing(self):
+        """M/M/1-PS mean response = x̄/C / (1-ρ); our link is exactly PS."""
+        capacity = 100.0
+        mean_size = 50.0
+        arrival = 1.2  # rho = 0.6
+        sim = Simulator()
+        streams = RandomStreams(7)
+        arrivals_rng = streams.stream("arrivals")
+        size_rng = streams.stream("sizes")
+        link = FairShareLink(sim, capacity_bps=capacity)
+        responses = []
+
+        def job():
+            size = size_rng.expovariate(1.0 / mean_size)
+            start = sim.now
+            yield link.transfer(size)
+            responses.append(sim.now - start)
+
+        def source():
+            for _ in range(60_000):
+                yield sim.timeout(arrivals_rng.expovariate(arrival))
+                sim.spawn(job())
+
+        sim.spawn(source())
+        sim.run()
+        steady = responses[len(responses) // 10 :]
+        simulated = sum(steady) / len(steady)
+        theory = processor_sharing_mean_response(arrival, mean_size, capacity)
+        assert simulated == pytest.approx(theory, rel=0.10)
+
+    def test_processor_sharing_insensitivity_to_size_distribution(self):
+        """PS mean response depends only on the *mean* size: deterministic
+        sizes give the same mean response as exponential ones."""
+        capacity = 100.0
+        mean_size = 50.0
+        arrival = 1.2
+
+        def run(deterministic):
+            sim = Simulator()
+            streams = RandomStreams(9)
+            arrivals_rng = streams.stream("arrivals")
+            size_rng = streams.stream("sizes")
+            link = FairShareLink(sim, capacity_bps=capacity)
+            responses = []
+
+            def job():
+                size = mean_size if deterministic else size_rng.expovariate(1 / mean_size)
+                start = sim.now
+                yield link.transfer(size)
+                responses.append(sim.now - start)
+
+            def source():
+                for _ in range(40_000):
+                    yield sim.timeout(arrivals_rng.expovariate(arrival))
+                    sim.spawn(job())
+
+            sim.spawn(source())
+            sim.run()
+            steady = responses[len(responses) // 10 :]
+            return sum(steady) / len(steady)
+
+        assert run(True) == pytest.approx(run(False), rel=0.12)
