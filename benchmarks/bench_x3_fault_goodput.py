@@ -1,0 +1,19 @@
+"""R-X3 (extension): deploy goodput under the standard fault schedule.
+
+Ablation across resilience configurations under identical arrivals and
+fault windows. Expected shape: no resilience loses most faulted deploys
+outright; blind re-placement recovers them but bleeds the window on call
+timeouts; re-placement + breakers + shedding + deadlines restores
+goodput. Nothing may be lost silently: zero dead letters, zero
+unaccounted tasks at quiescence.
+"""
+
+
+def test_bench_x3_fault_goodput(exhibit):
+    result = exhibit("R-X3")
+    goodput = {row[0]: float(row[3]) for row in result.rows}
+    assert goodput["none"] < goodput["retries"] < goodput["full"]
+    for row in result.rows:
+        dead_letters, unaccounted = int(row[-2]), int(row[-1])
+        assert dead_letters == 0
+        assert unaccounted == 0

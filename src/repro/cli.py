@@ -6,6 +6,8 @@ Commands:
   profile and print the report (optionally dump the trace).
 - ``experiment <id>`` — run one registered exhibit (R-T1 … R-F10).
 - ``storm`` — a one-off clone storm with explicit knobs.
+- ``faults`` — a deploy storm under the standard fault schedule, with
+  the fault timeline and resilience outcome printed.
 - ``list`` — enumerate profiles and experiments.
 """
 
@@ -61,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--seed", type=int, default=0)
     sweep_cmd.add_argument("--clones", type=int, default=64)
     sweep_cmd.add_argument("--full", action="store_true")
+
+    faults_cmd = sub.add_parser(
+        "faults", help="deploy storm under the standard fault schedule"
+    )
+    faults_cmd.add_argument("--duration", type=float, default=600.0,
+                            help="arrival window in sim seconds")
+    faults_cmd.add_argument("--rate", type=float, default=1.0,
+                            help="deploy arrivals per second")
+    faults_cmd.add_argument("--scale", type=float, default=1.0,
+                            help="fault blast-radius multiplier")
+    faults_cmd.add_argument("--seed", type=int, default=0)
+    faults_cmd.add_argument("--no-resilience", action="store_true",
+                            help="disable retries/breakers/deadlines")
 
     sub.add_parser("list", help="list profiles and experiments")
     return parser
@@ -134,6 +149,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+    import random as _random
+
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization
+    from repro.controlplane.costs import ControlPlaneConfig, DEFAULT_COSTS
+    from repro.controlplane.resilience import BreakerPolicy, NO_RETRY, RetryPolicy
+    from repro.datacenter.templates import MEDIUM_LINUX
+    from repro.faults import FaultInjector, FaultTargets, standard_fault_schedule
+    from repro.sim.events import AllOf
+
+    costs = _dc.replace(DEFAULT_COSTS, host_call_timeout_s=20.0)
+    if args.no_resilience:
+        config = ControlPlaneConfig()
+        director_policy = NO_RETRY
+    else:
+        config = ControlPlaneConfig(
+            task_deadline_s=240.0,
+            breaker=BreakerPolicy(failure_threshold=3, cooldown_s=45.0),
+        )
+        director_policy = RetryPolicy(max_attempts=6, base_backoff_s=2.0)
+    rig = StormRig(
+        seed=args.seed, hosts=16, datastores=4, host_memory_gb=512.0,
+        costs=costs, config=config,
+    )
+    catalog = Catalog("demo")
+    item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+    org = Organization("demo-org", quota_vms=1_000_000, quota_storage_gb=1e9)
+    director = CloudDirector(
+        rig.server, rig.cluster, rig.library, catalog,
+        retry_policy=director_policy,
+    )
+    try:
+        schedule = standard_fault_schedule(args.duration, scale=args.scale)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    injector = FaultInjector(
+        rig.sim,
+        FaultTargets.for_server(rig.server),
+        schedule,
+        rng=rig.streams.stream("fault-injector"),
+    ).start()
+
+    requests: list = []
+
+    def one(index: int) -> typing.Generator:
+        yield from director.deploy(
+            DeployRequest(org=org, item=item, vm_count=1, vapp_name=f"req{index}")
+        )
+
+    def arrivals() -> typing.Generator:
+        rng = _random.Random(args.seed)
+        index = 0
+        while rig.sim.now < args.duration:
+            yield rig.sim.timeout(rng.expovariate(args.rate))
+            if rig.sim.now >= args.duration:
+                break
+            requests.append(rig.sim.spawn(one(index), name=f"req-{index}"))
+            index += 1
+
+    source = rig.sim.spawn(arrivals(), name="arrivals")
+    rig.sim.run(until=source)
+    if requests:
+        rig.sim.run(until=AllOf(rig.sim, requests))
+    rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
+
+    print("fault timeline:")
+    for line in injector.timeline():
+        print(f"  {line}")
+    tasks = rig.server.tasks
+    succeeded = sum(len(vapp.vms) for vapp in director.vapps)
+    timely = sum(
+        len(vapp.vms)
+        for vapp in director.vapps
+        if vapp.deployed_at is not None and vapp.deployed_at <= args.duration
+    )
+    print(f"\noffered:       {len(requests)} deploys over {args.duration:.0f}s")
+    print(f"succeeded:     {succeeded} ({timely} inside the window)")
+    print(f"p99 latency:   {director.deploy_latency_p(0.99):.1f}s")
+    print(f"re-places:     {int(director.metrics.counter('vm_retries').value)}")
+    print(f"task retries:  {int(tasks.metrics.counter('retries').value)}")
+    print(f"dead letters:  {len(tasks.dead_letters)}")
+    print(f"unaccounted:   {len(tasks.unaccounted())}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -150,6 +254,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "experiment": cmd_experiment,
     "storm": cmd_storm,
     "sweep": cmd_sweep,
+    "faults": cmd_faults,
     "list": cmd_list,
 }
 

@@ -8,7 +8,7 @@ provisioning rates drag "previously infrequent" operations into the hot
 path (the paper's claim 4).
 """
 
-from repro.cloud.api import ApiGateway, Session, SessionError
+from repro.cloud.api import AdmissionShed, ApiGateway, Session, SessionError
 from repro.cloud.catalog import Catalog, CatalogItem
 from repro.cloud.director import CloudDirector, DeployRequest
 from repro.cloud.elasticity import ElasticityPolicy, SparePool
@@ -20,6 +20,7 @@ from repro.cloud.tenancy import Organization, QuotaExceeded, User
 from repro.cloud.vapp import VApp, VAppState
 
 __all__ = [
+    "AdmissionShed",
     "ApiGateway",
     "Catalog",
     "CatalogItem",

@@ -14,6 +14,7 @@ import dataclasses
 import typing
 
 from repro.cloud.tenancy import Organization, User
+from repro.faults.errors import TransientError
 from repro.sim.kernel import Simulator
 from repro.sim.resources import TokenBucket
 from repro.sim.stats import MetricsRegistry
@@ -21,6 +22,15 @@ from repro.sim.stats import MetricsRegistry
 
 class SessionError(Exception):
     """Invalid or expired session usage."""
+
+
+class AdmissionShed(TransientError):
+    """Request rejected at the door: the control plane is overloaded.
+
+    Transient by design — the tenant (or a retry layer with backoff) may
+    try again once the task queue drains. Shedding at admission costs one
+    cheap rejection instead of a queued task that would blow its deadline.
+    """
 
 
 @dataclasses.dataclass
@@ -48,19 +58,38 @@ class ApiGateway:
         requests_per_minute: float = 60.0,
         burst: float = 10.0,
         session_idle_timeout_s: float = 1800.0,
+        shed_watermark: float | None = None,
+        queue_depth_probe: typing.Callable[[], float] | None = None,
     ) -> None:
         if requests_per_minute <= 0 or burst <= 0:
             raise ValueError("rate and burst must be positive")
         if session_idle_timeout_s <= 0:
             raise ValueError("session_idle_timeout_s must be positive")
+        if shed_watermark is not None and shed_watermark <= 0:
+            raise ValueError("shed_watermark must be positive")
         self.sim = sim
         self.rate_per_s = requests_per_minute / 60.0
         self.burst = burst
         self.session_idle_timeout_s = session_idle_timeout_s
+        self.shed_watermark = shed_watermark
+        self.queue_depth_probe = queue_depth_probe
         self.metrics = MetricsRegistry(sim, prefix="api")
         self._sessions: dict[int, Session] = {}
         self._buckets: dict[str, TokenBucket] = {}
         self._next_id = 0
+
+    def enable_shedding(
+        self, queue_depth_probe: typing.Callable[[], float], watermark: float
+    ) -> None:
+        """Shed admissions while ``queue_depth_probe()`` >= ``watermark``.
+
+        The probe is typically ``lambda: server.tasks.queue_depth`` — the
+        datacenter-wide dispatch backlog.
+        """
+        if watermark <= 0:
+            raise ValueError("watermark must be positive")
+        self.queue_depth_probe = queue_depth_probe
+        self.shed_watermark = watermark
 
     # -- sessions --------------------------------------------------------------
 
@@ -126,8 +155,20 @@ class ApiGateway:
     def admit(
         self, session: Session, cost: float = 1.0
     ) -> typing.Generator[typing.Any, typing.Any, float]:
-        """Process-style: validate + throttle; returns the admission wait."""
+        """Process-style: validate + throttle; returns the admission wait.
+
+        With shedding enabled, an overloaded control plane rejects the
+        request up front (:class:`AdmissionShed`) instead of queueing it.
+        """
         self.validate(session)
+        if self.shed_watermark is not None and self.queue_depth_probe is not None:
+            depth = self.queue_depth_probe()
+            if depth >= self.shed_watermark:
+                self.metrics.counter("shed").add()
+                raise AdmissionShed(
+                    f"task backlog {depth:.0f} >= watermark "
+                    f"{self.shed_watermark:.0f}; request shed"
+                )
         start = self.sim.now
         yield from self._bucket(session.user.org).take(cost)
         wait = self.sim.now - start

@@ -21,9 +21,13 @@ from repro.datacenter.vm import PowerState
 from repro.operations.provisioning import DeployFromTemplate
 from repro.operations.lifecycle import DestroyVM
 from repro.operations.power import PowerOff
+from repro.operations.base import OperationError
 from repro.sim.events import AllOf
 from repro.sim.stats import MetricsRegistry
+from repro.controlplane.resilience import RetryPolicy
 from repro.controlplane.server import ManagementServer
+from repro.faults.errors import TransientError
+from repro.storage.copy_engine import CopyFailed
 
 
 @dataclasses.dataclass
@@ -51,6 +55,7 @@ class CloudDirector:
         catalog: Catalog,
         placement: PlacementEngine | None = None,
         retries_per_vm: int = 1,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if retries_per_vm < 0:
             raise ValueError("retries_per_vm must be >= 0")
@@ -61,8 +66,42 @@ class CloudDirector:
         self.catalog = catalog
         self.placement = placement or PlacementEngine()
         self.retries_per_vm = retries_per_vm
+        # Explicit policy wins; otherwise one is derived from retries_per_vm
+        # at deploy time (the attribute is mutable for ablations).
+        self.retry_policy = retry_policy
+        self._retry_rng = server.streams.stream(f"{server.name}:director-retry")
         self.metrics = MetricsRegistry(server.sim, prefix="director")
         self.vapps: list[VApp] = []
+
+    def _tripped_hosts(self) -> set[str]:
+        """Hosts whose agent circuit breaker is currently open."""
+        out: set[str] = set()
+        for host in self.cluster.hosts:
+            try:
+                agent = self.server.agent(host)
+            except KeyError:
+                continue
+            if agent.breaker is not None and agent.breaker.engaged:
+                out.add(host.entity_id)
+        return out
+
+    def _effective_policy(self) -> RetryPolicy:
+        """The per-VM retry policy for this deploy.
+
+        Deploy retries also cover :class:`OperationError`: a host flapping
+        between placement and execution surfaces as a precondition failure,
+        and re-placement elsewhere is exactly the right response.
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy(
+            max_attempts=1 + self.retries_per_vm,
+            base_backoff_s=2.0,
+            backoff_multiplier=2.0,
+            max_backoff_s=30.0,
+            jitter=0.5,
+            retry_on=(TransientError, OperationError),
+        )
 
     # -- deploy ----------------------------------------------------------------
 
@@ -125,20 +164,44 @@ class CloudDirector:
         index: int,
         storage_per_vm: float,
     ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
-        """One member VM's deploy with re-placement retries.
+        """One member VM's deploy with policy-driven re-placement retries.
 
-        Each attempt re-runs placement (the failed host is typically
-        avoided by the least-loaded policy once its ops fail fast) —
-        matching how self-service portals mask transient faults from
-        tenants. Returns the VM, or None after exhausting retries.
+        Each retry backs off per the :class:`RetryPolicy` (no immediate
+        re-submission hammering a saturated plane) and excludes hosts that
+        already failed this VM, so re-placement actually moves — matching
+        how self-service portals mask transient faults from tenants.
+        Returns the VM, or None after exhausting retries.
         """
-        attempts = 1 + self.retries_per_vm
-        for attempt in range(attempts):
-            try:
-                host, datastore = self.placement.choose(
-                    self.cluster, storage_per_vm, memory_gb=template.memory_gb
-                )
-            except PlacementError:
+        policy = self._effective_policy()
+        excluded: set[str] = set()
+        excluded_ds: set[str] = set()
+        for attempt in range(policy.max_attempts):
+            # Breaker-aware placement: a host whose agent breaker is open
+            # would only fast-fail this attempt — steer around it up front
+            # instead of discovering the outage one rejection at a time.
+            tripped = self._tripped_hosts()
+            if tripped - excluded:
+                self.metrics.counter("breaker_avoidance").add()
+            host = datastore = None
+            tiers: list[set[str]] = []
+            for tier in (excluded | tripped, excluded, set()):
+                if tier not in tiers:
+                    tiers.append(tier)
+            for exclude in tiers:
+                # Every candidate excluded is worse than retrying a
+                # known-bad host: relax the exclusions tier by tier.
+                try:
+                    host, datastore = self.placement.choose(
+                        self.cluster,
+                        storage_per_vm,
+                        memory_gb=template.memory_gb,
+                        exclude_hosts=exclude,
+                        exclude_datastores=excluded_ds,
+                    )
+                    break
+                except PlacementError:
+                    continue
+            if host is None:
                 self.metrics.counter("placement_failures").add()
                 return None
             name = f"{vapp.name}-vm{index}"
@@ -151,7 +214,18 @@ class CloudDirector:
             process = self.server.submit(operation)
             try:
                 task = yield process
-            except Exception:
+            except Exception as error:
+                # Attribute the failure to the resource that caused it:
+                # a copy fault is pinned to the datastore, not the host.
+                if isinstance(error, CopyFailed):
+                    excluded_ds.add(datastore.entity_id)
+                else:
+                    excluded.add(host.entity_id)
+                if attempt + 1 >= policy.max_attempts or not policy.retryable(error):
+                    return None
+                delay = policy.backoff_s(attempt + 1, self._retry_rng)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
                 continue
             return task.result
         return None

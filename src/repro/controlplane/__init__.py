@@ -21,6 +21,17 @@ from repro.controlplane.eventlog import (
 )
 from repro.controlplane.host_agent import HostAgent, HostAgentError
 from repro.controlplane.locks import LockManager
+from repro.controlplane.resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadLetter,
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryBudget,
+    RetryPolicy,
+    TaskDeadlineExceeded,
+)
 from repro.controlplane.server import ManagementServer
 from repro.controlplane.shard import ShardedControlPlane
 from repro.controlplane.stats_sync import StatsCollector
@@ -29,7 +40,12 @@ from repro.controlplane.task_manager import Task, TaskManager, TaskState
 __all__ = [
     "AlarmManager",
     "AlarmRule",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "ControlPlaneConfig",
+    "DeadLetter",
+    "DEFAULT_RETRY",
     "EventLog",
     "ManagementEvent",
     "ControlPlaneCosts",
@@ -39,9 +55,13 @@ __all__ = [
     "HostAgentError",
     "LockManager",
     "ManagementServer",
+    "NO_RETRY",
+    "RetryBudget",
+    "RetryPolicy",
     "ShardedControlPlane",
     "StatsCollector",
     "Task",
+    "TaskDeadlineExceeded",
     "TaskManager",
     "TaskState",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 import typing
 
+from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Simulator
 from repro.sim.random import bounded, lognormal_from_median
 from repro.sim.resources import Resource
@@ -36,6 +37,7 @@ class DatabaseModel:
         self.rng = rng
         self.metrics = metrics or MetricsRegistry(sim, prefix="db")
         self.pool = Resource(sim, capacity=connections, name="db-connections")
+        self.faults = FaultHook(sim, name="db", rng=rng)
         self._busy_seconds = 0.0
         self._slowdown = 1.0
 
@@ -68,9 +70,12 @@ class DatabaseModel:
         self, median: float, kind: str, rows: int
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         start = self.sim.now
+        # Injected DB faults surface before any connection is consumed:
+        # one-shot errors fail the statement, latency windows stretch it.
+        factor = self.faults.fire()
         request = self.pool.request()
         yield request
-        service = self._service_time(median)
+        service = self._service_time(median) * factor
         try:
             yield self.sim.timeout(service)
         finally:

@@ -65,6 +65,7 @@ class EventLog:
         self._pending: list[ManagementEvent] = []
         self._until: float | None = None
         self._running = False
+        self._stopped = False
 
     def post(
         self,
@@ -91,15 +92,28 @@ class EventLog:
     def pending(self) -> int:
         return len(self._pending)
 
+    @property
+    def active(self) -> bool:
+        """True while the log is accepting its flusher's schedule — i.e. it
+        has been started and not (explicitly or by its bound) stopped."""
+        return self._running and not self._stopped
+
     def start(self, until: float | None = None) -> None:
         if self._running:
             raise RuntimeError("event flusher already started")
         self._running = True
+        self._stopped = False
         self._until = until
         self.sim.spawn(self._flusher(), name="event-flusher")
 
     def stop(self) -> None:
+        """Stop logging now; the flusher drains the backlog then exits.
+
+        After a stop the owning server may enable a fresh log (what-if
+        replays toggle logging around the window of interest).
+        """
         self._until = self.sim.now
+        self._stopped = True
 
     def flush_once(self) -> typing.Generator[typing.Any, typing.Any, int]:
         """Process-style: write up to ``max_batch`` pending events."""
@@ -116,14 +130,18 @@ class EventLog:
         return len(batch)
 
     def _flusher(self) -> typing.Generator:
-        while True:
-            yield self.sim.timeout(self.flush_interval_s)
-            drained = yield from self.flush_once()
-            if self._until is not None and self.sim.now >= self._until and not self._pending:
-                return
-            # Keep draining big backlogs without waiting a full interval.
-            while drained and self._pending:
+        try:
+            while True:
+                yield self.sim.timeout(self.flush_interval_s)
                 drained = yield from self.flush_once()
+                if self._until is not None and self.sim.now >= self._until and not self._pending:
+                    return
+                # Keep draining big backlogs without waiting a full interval.
+                while drained and self._pending:
+                    drained = yield from self.flush_once()
+        finally:
+            self._running = False
+            self._stopped = True
 
     # -- queries ----------------------------------------------------------------
 

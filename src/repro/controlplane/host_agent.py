@@ -4,6 +4,12 @@ Each hypervisor host runs a management agent with a bounded number of
 in-flight management operations (~8 in the vSphere era). Management-server
 operations fan calls out to these agents; a disconnected or wedged agent
 surfaces as a call timeout.
+
+Fault injection enters through ``self.faults`` (a
+:class:`~repro.faults.hooks.FaultHook`): one-shot errors, probabilistic
+drops, and latency multipliers. An optional per-agent
+:class:`~repro.controlplane.resilience.CircuitBreaker` makes repeated
+failures fail fast instead of burning the full call timeout each try.
 """
 
 from __future__ import annotations
@@ -12,15 +18,24 @@ import random
 import typing
 
 from repro.datacenter.entities import Host
+from repro.faults.errors import TransientError
+from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Simulator
 from repro.sim.random import bounded, lognormal_from_median
 from repro.sim.resources import Resource
 from repro.sim.stats import MetricsRegistry
 from repro.controlplane.costs import ControlPlaneCosts
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.resilience import CircuitBreaker
 
-class HostAgentError(Exception):
-    """A host-agent call failed (timeout, injected fault, disconnection)."""
+
+class HostAgentError(TransientError):
+    """A host-agent call failed (timeout, injected fault, disconnection).
+
+    Transient by taxonomy: retry policies may re-attempt these (ideally
+    against a different host).
+    """
 
 
 class HostAgent:
@@ -41,39 +56,68 @@ class HostAgent:
         self.rng = rng
         self.slots = Resource(sim, capacity=op_slots, name=f"hostd:{host.name}")
         self.metrics = metrics or MetricsRegistry(sim, prefix=f"hostd.{host.entity_id}")
-        self._fail_next: list[Exception] = []
+        self.faults = FaultHook(
+            sim, name=host.name, rng=rng, error_factory=HostAgentError
+        )
+        self.breaker: "CircuitBreaker | None" = None
         self._busy_seconds = 0.0
 
     def inject_failure(self, error: Exception | None = None) -> None:
         """Fail the next call (failure-injection tests and R-T3 rows)."""
-        self._fail_next.append(error or HostAgentError(f"injected fault on {self.host.name}"))
+        self.faults.arm_once(error)
+
+    def _note_success(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _note_failure(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     def call(
         self, kind: str, median_s: float
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: one agent call; returns elapsed seconds.
 
-        Raises :class:`HostAgentError` if the host is unusable, a fault was
-        injected, or service exceeds the configured timeout.
+        Raises :class:`HostAgentError` if the host is unusable, the
+        breaker is open, a fault was injected, or service exceeds the
+        configured timeout.
         """
-        if not self.host.is_usable:
-            raise HostAgentError(f"host {self.host.name} is {self.host.state.value}")
-        if self._fail_next:
-            raise self._fail_next.pop(0)
+        if self.breaker is not None and not self.breaker.allow():
+            self.metrics.counter("breaker_rejections").add()
+            raise HostAgentError(
+                f"{kind} on {self.host.name}: circuit breaker open"
+            )
+        try:
+            if not self.host.is_usable:
+                raise HostAgentError(
+                    f"host {self.host.name} is {self.host.state.value}"
+                )
+            factor = self.faults.fire()
+        except Exception:
+            self._note_failure()
+            raise
         start = self.sim.now
         request = self.slots.request()
         yield request
-        service = bounded(
-            lognormal_from_median(self.rng, median_s, self.costs.sigma),
-            median_s * 0.25,
-            median_s * 10.0,
+        service = (
+            bounded(
+                lognormal_from_median(self.rng, median_s, self.costs.sigma),
+                median_s * 0.25,
+                median_s * 10.0,
+            )
+            * factor
         )
         try:
             if service > self.costs.host_call_timeout_s:
                 # The call would exceed the timeout: the server gives up at
-                # the deadline and surfaces an error.
+                # the deadline and surfaces an error. The slot was held (and
+                # the agent busy) for the full timeout, so utilization must
+                # count it — timeout storms are exactly when it matters.
                 yield self.sim.timeout(self.costs.host_call_timeout_s)
+                self._busy_seconds += self.costs.host_call_timeout_s
                 self.metrics.counter("timeouts").add()
+                self._note_failure()
                 raise HostAgentError(
                     f"{kind} on {self.host.name} timed out after "
                     f"{self.costs.host_call_timeout_s:.0f}s"
@@ -82,6 +126,7 @@ class HostAgent:
         finally:
             self.slots.release(request)
         self._busy_seconds += service
+        self._note_success()
         self.metrics.counter("calls").add()
         self.metrics.latency("call_latency").record(self.sim.now - start)
         return self.sim.now - start

@@ -66,6 +66,15 @@ class RWLock:
             self.readers -= 1
         self._dispatch()
 
+    def withdraw(self, event: Event) -> None:
+        """Remove a still-queued acquire; no-op if already granted."""
+        for index, (_mode, queued) in enumerate(self._queue):
+            if queued is event:
+                del self._queue[index]
+                event.cancel()
+                self._dispatch()
+                return
+
     def _dispatch(self) -> None:
         while self._queue:
             mode, event = self._queue[0]
@@ -135,11 +144,27 @@ class LockManager:
         write_ids: typing.Sequence[str],
         read_ids: typing.Sequence[str] = (),
     ) -> typing.Generator[typing.Any, typing.Any, list[RWGrant]]:
-        """Process-style: acquire all locks; returns grant handles."""
+        """Process-style: acquire all locks; returns grant handles.
+
+        All-or-nothing: if the acquiring process dies mid-sequence
+        (interrupt, injected fault), already-held grants are released and
+        the in-flight queue entry withdrawn — partial grants never leak.
+        """
         start = self.sim.now
         grants: list[RWGrant] = []
         for key, mode in self._plan(write_ids, read_ids):
-            grant = yield self._lock(key).acquire(mode)
+            lock = self._lock(key)
+            pending = lock.acquire(mode)
+            try:
+                grant = yield pending
+            except BaseException:
+                if pending.triggered:
+                    lock.release(pending.value)
+                else:
+                    lock.withdraw(pending)
+                for held in reversed(grants):
+                    held.lock.release(held)
+                raise
             grants.append(grant)
         self.metrics.latency("acquire_wait").record(self.sim.now - start)
         return grants

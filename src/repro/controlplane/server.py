@@ -18,6 +18,8 @@ import typing
 
 from repro.datacenter.entities import Datastore, Host
 from repro.datacenter.inventory import Inventory
+from repro.faults.errors import ShardUnavailable
+from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Process, Simulator
 from repro.sim.random import RandomStreams, bounded, lognormal_from_median
 from repro.sim.resources import Resource
@@ -28,6 +30,7 @@ from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFA
 from repro.controlplane.database import DatabaseModel
 from repro.controlplane.host_agent import HostAgent
 from repro.controlplane.locks import LockManager
+from repro.controlplane.resilience import CircuitBreaker, RetryBudget
 from repro.controlplane.task_manager import Task, TaskManager
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -67,12 +70,21 @@ class ManagementServer:
             granularity=self.config.lock_granularity,
             metrics=MetricsRegistry(sim, prefix=f"{name}.locks"),
         )
+        self.retry_budget = (
+            RetryBudget(ratio=self.config.retry_budget_ratio)
+            if self.config.retry_budget_ratio is not None
+            else None
+        )
         self.tasks = TaskManager(
             sim,
             self.database,
             max_inflight=self.config.max_inflight_tasks,
             per_type_limits=self.config.per_type_limits,
             metrics=MetricsRegistry(sim, prefix=f"{name}.tasks"),
+            retry_policy=self.config.retry_policy,
+            retry_budget=self.retry_budget,
+            task_deadline_s=self.config.task_deadline_s,
+            rng=streams.stream(f"{name}:retry"),
         )
         self.cpu = Resource(sim, capacity=self.config.cpu_workers, name=f"{name}-cpu")
         self._cpu_rng = streams.stream(f"{name}:cpu")
@@ -82,7 +94,10 @@ class ManagementServer:
         if storage_capacity_bps is not None:
             engine_kwargs["default_capacity_bps"] = storage_capacity_bps
         self.copy_engine = CopyEngine(
-            sim, metrics=MetricsRegistry(sim, prefix=f"{name}.copy"), **engine_kwargs
+            sim,
+            metrics=MetricsRegistry(sim, prefix=f"{name}.copy"),
+            rng=streams.stream(f"{name}:copy-faults"),
+            **engine_kwargs,
         )
         self.copy_scheduler = CopyScheduler(
             sim,
@@ -91,6 +106,9 @@ class ManagementServer:
             metrics=MetricsRegistry(sim, prefix=f"{name}.copysched"),
         )
         self._agents: dict[str, HostAgent] = {}
+        # Whole-server outage hook (shard crashes): submissions fail while
+        # blocked. Armed by repro.faults.ShardCrash windows.
+        self.faults = FaultHook(sim, name=name, error_factory=ShardUnavailable)
         self.event_log = None
         self.started_at = sim.now
 
@@ -107,7 +125,7 @@ class ManagementServer:
         """
         from repro.controlplane.eventlog import EventLog
 
-        if self.event_log is not None:
+        if self.event_log is not None and self.event_log.active:
             raise RuntimeError("event logging already enabled")
         self.event_log = EventLog(
             self.sim,
@@ -133,6 +151,13 @@ class ManagementServer:
             op_slots=self.config.per_host_op_slots,
             metrics=MetricsRegistry(self.sim, prefix=f"{self.name}.hostd.{host.entity_id}"),
         )
+        if self.config.breaker is not None:
+            agent.breaker = CircuitBreaker(
+                self.sim,
+                self.config.breaker,
+                name=host.name,
+                metrics=agent.metrics,
+            )
         self._agents[host.entity_id] = agent
         return agent
 
@@ -185,6 +210,9 @@ class ManagementServer:
         """
 
         def lifecycle() -> typing.Generator[typing.Any, typing.Any, Task]:
+            # A crashed shard rejects the submission outright — no task row,
+            # no dispatch slot, just a failed process.
+            self.faults.fire()
             holder: dict[str, Task] = {}
 
             def body(task: Task) -> typing.Generator:

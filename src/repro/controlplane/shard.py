@@ -83,6 +83,14 @@ class ShardedControlPlane:
     def completed_tasks(self) -> int:
         return sum(len(shard.tasks.succeeded()) for shard in self.shards)
 
+    def dead_letters(self) -> int:
+        """Aggregate permanently failed (dead-lettered) tasks."""
+        return sum(len(shard.tasks.dead_letters) for shard in self.shards)
+
+    def unaccounted_tasks(self) -> int:
+        """Tasks on any shard that never reached a terminal state."""
+        return sum(len(shard.tasks.unaccounted()) for shard in self.shards)
+
     def throughput(self, since: float = 0.0) -> float:
         """Aggregate successful tasks per second over [since, now]."""
         span = self.sim.now - since

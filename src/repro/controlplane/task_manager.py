@@ -3,18 +3,37 @@
 Every operation becomes a Task: created (DB write), queued behind the
 datacenter-wide in-flight limit, executed, and committed (DB write). The
 task queue depth over time is R-F7; per-type task latencies feed R-F2.
+
+The resilience layer lives here: an optional
+:class:`~repro.controlplane.resilience.RetryPolicy` re-runs task bodies
+that fail with transient errors (exponential backoff + jitter, bounded by
+a global :class:`~repro.controlplane.resilience.RetryBudget`), optional
+per-task deadlines bound queue wait and forbid retries past the deadline,
+and retryable failures that exhaust their attempts/budget/deadline leave a
+:class:`~repro.controlplane.resilience.DeadLetter` record — the retry
+machinery never gives up silently. Observable via the ``retries``,
+``dead_letter``, ``deadline_exceeded``, and ``retry_budget_denied``
+counters.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import random
 import typing
 
+from repro.sim.events import AnyOf
 from repro.sim.kernel import Simulator
 from repro.sim.resources import PriorityResource
 from repro.sim.stats import MetricsRegistry
 from repro.controlplane.database import DatabaseModel
+from repro.controlplane.resilience import (
+    DeadLetter,
+    RetryBudget,
+    RetryPolicy,
+    TaskDeadlineExceeded,
+)
 
 
 class TaskState(enum.Enum):
@@ -36,6 +55,10 @@ class Task:
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
+    # Absolute sim time by which the task must finish (None = no deadline).
+    deadline: float | None = None
+    # Body executions so far (1 = no retries).
+    attempts: int = 0
     # Per-phase attribution filled in by the operation: (phase, plane, seconds).
     phases: list[tuple[str, str, float]] = dataclasses.field(default_factory=list)
     # Operation-specific payload (e.g. the created VM for clones).
@@ -68,7 +91,13 @@ class TaskManager:
         max_inflight: int,
         per_type_limits: typing.Mapping[str, int] | None = None,
         metrics: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
+        task_deadline_s: float | None = None,
+        rng: random.Random | None = None,
     ) -> None:
+        if task_deadline_s is not None and task_deadline_s <= 0:
+            raise ValueError("task_deadline_s must be positive")
         self.sim = sim
         self.database = database
         self.dispatch = PriorityResource(sim, capacity=max_inflight, name="task-dispatch")
@@ -77,7 +106,12 @@ class TaskManager:
             for op_type, limit in (per_type_limits or {}).items()
         }
         self.metrics = metrics or MetricsRegistry(sim, prefix="tasks")
+        self.retry_policy = retry_policy
+        self.retry_budget = retry_budget
+        self.task_deadline_s = task_deadline_s
+        self.rng = rng or random.Random(0xACE)
         self.tasks: list[Task] = []
+        self.dead_letters: list[DeadLetter] = []
         self._next_id = 0
         self._depth = self.metrics.gauge("queue_depth")
         # Optional event sink (see controlplane.eventlog); completion posts
@@ -93,7 +127,9 @@ class TaskManager:
         """Process-style: run ``body(task)`` under the task lifecycle.
 
         The body is a process generator; its phases should be appended to
-        ``task.phases``. Failures mark the task ERROR and re-raise.
+        ``task.phases``. Transient failures are retried per the configured
+        :class:`RetryPolicy`; terminal failures mark the task ERROR,
+        record a dead letter, and re-raise.
         """
         self._next_id += 1
         task = Task(
@@ -102,50 +138,170 @@ class TaskManager:
             submitted_at=self.sim.now,
             priority=priority,
         )
+        if self.task_deadline_s is not None:
+            task.deadline = task.submitted_at + self.task_deadline_s
         self.tasks.append(task)
         # Task-row insert happens before dispatch: even rejected/queued work
-        # costs the database.
-        yield from self.database.write(rows=1)
+        # costs the database. If the database itself is faulted the task
+        # never existed as far as dispatch is concerned — fail it terminally
+        # rather than stranding it QUEUED.
+        try:
+            yield from self.database.write(rows=1)
+        except Exception as error:
+            self._fail_terminally(task, error)
+            self.metrics.counter("insert_failures").add()
+            raise
+        if self.retry_budget is not None:
+            self.retry_budget.deposit()
         self._depth.add(1)
         # Per-category cap first (if configured), then the global limit —
         # matching the real dispatch order (a capped clone can't consume a
-        # datacenter-wide slot while waiting on its category).
-        type_slot = None
-        type_pool = self._type_limits.get(op_type)
-        if type_pool is not None:
-            type_slot = type_pool.request(priority=priority)
-            yield type_slot
-        slot = self.dispatch.request(priority=priority)
-        yield slot
+        # datacenter-wide slot while waiting on its category). Queue waits
+        # are bounded by the task deadline: a request still queued at the
+        # deadline is withdrawn and the task dead-lettered.
+        granted: list[tuple[PriorityResource, typing.Any]] = []
+        try:
+            type_pool = self._type_limits.get(op_type)
+            if type_pool is not None:
+                yield from self._acquire(type_pool, priority, task, granted)
+            yield from self._acquire(self.dispatch, priority, task, granted)
+        except TaskDeadlineExceeded as error:
+            self._depth.add(-1)
+            for pool, request in granted:
+                pool.release(request)
+            self.metrics.counter("deadline_exceeded").add()
+            self._fail_terminally(task, error)
+            yield from self._finalize(task)
+            raise
         self._depth.add(-1)
         task.state = TaskState.RUNNING
         task.started_at = self.sim.now
         try:
-            yield from body(task)
-        except Exception as error:
-            task.state = TaskState.ERROR
-            task.error = f"{type(error).__name__}: {error}"
-            raise
-        else:
-            task.state = TaskState.SUCCESS
+            while True:
+                task.attempts += 1
+                try:
+                    yield from body(task)
+                except Exception as error:
+                    delay = self._retry_delay(task, error)
+                    if delay is None:
+                        task.state = TaskState.ERROR
+                        task.error = f"{type(error).__name__}: {error}"
+                        self._record_dead_letter(task, error)
+                        raise
+                    self.metrics.counter("retries").add()
+                    self.metrics.counter(f"retries.{op_type}").add()
+                    if delay > 0:
+                        yield self.sim.timeout(delay)
+                else:
+                    task.state = TaskState.SUCCESS
+                    break
         finally:
-            self.dispatch.release(slot)
-            if type_slot is not None:
-                type_pool.release(type_slot)
-            task.finished_at = self.sim.now
-            # Completion row: state transition + result payload.
-            yield from self.database.write(rows=1)
-            self.metrics.counter(f"completed.{task.op_type}").add()
-            self.metrics.latency(f"latency.{task.op_type}").record(task.latency)
-            self.metrics.latency("latency.all").record(task.latency)
-            if self.event_log is not None:
-                severity = "info" if task.state == TaskState.SUCCESS else "warning"
-                self.event_log.post(
-                    f"task.{task.op_type}",
-                    f"task-{task.task_id}",
-                    severity=severity,
-                    message=task.error or "",
+            self.dispatch.release(granted[-1][1])
+            for pool, request in granted[:-1]:
+                pool.release(request)
+            yield from self._finalize(task)
+
+    # -- lifecycle helpers ---------------------------------------------------
+
+    def _acquire(
+        self,
+        pool: PriorityResource,
+        priority: float,
+        task: Task,
+        granted: list,
+    ) -> typing.Generator:
+        """Request a slot, bounded by the task deadline (if any)."""
+        request = pool.request(priority=priority)
+        if task.deadline is None:
+            yield request
+        else:
+            remaining = task.deadline - self.sim.now
+            if remaining <= 0:
+                request.withdraw()
+                raise TaskDeadlineExceeded(
+                    f"task {task.task_id} ({task.op_type}) hit its deadline "
+                    f"before dispatch"
                 )
+            timer = self.sim.timeout(remaining)
+            yield AnyOf(self.sim, [request, timer])
+            if not request.triggered:
+                request.withdraw()
+                raise TaskDeadlineExceeded(
+                    f"task {task.task_id} ({task.op_type}) queued past its "
+                    f"deadline ({self.task_deadline_s:.0f}s)"
+                )
+        granted.append((pool, request))
+
+    def _retry_delay(self, task: Task, error: BaseException) -> float | None:
+        """Backoff before the next attempt, or None to fail terminally."""
+        policy = self.retry_policy
+        if policy is None or not policy.retryable(error):
+            return None
+        if task.attempts >= policy.max_attempts:
+            return None
+        if self.retry_budget is not None and not self.retry_budget.withdraw():
+            self.metrics.counter("retry_budget_denied").add()
+            return None
+        delay = policy.backoff_s(task.attempts, self.rng)
+        if task.deadline is not None and self.sim.now + delay >= task.deadline:
+            # A retry that cannot finish by the deadline only deepens the
+            # backlog; give up now.
+            self.metrics.counter("deadline_exceeded").add()
+            return None
+        return delay
+
+    def _fail_terminally(self, task: Task, error: BaseException) -> None:
+        task.state = TaskState.ERROR
+        task.error = f"{type(error).__name__}: {error}"
+        task.finished_at = self.sim.now
+        self._record_dead_letter(task, error)
+
+    def _record_dead_letter(self, task: Task, error: BaseException) -> None:
+        """Record work the retry machinery gave up on.
+
+        Dead letters are retryable failures that exhausted their attempts,
+        budget, or deadline: work the resilience layer promised to mask and
+        couldn't. Non-retryable errors (business failures, host-pinned
+        preconditions) pass through as plain task errors for the caller to
+        handle — e.g. the cloud director re-places them on another host.
+        Without a retry policy there is no promise, hence no dead letters.
+        """
+        if self.retry_policy is None or not self.retry_policy.retryable(error):
+            return
+        self.dead_letters.append(
+            DeadLetter(
+                task_id=task.task_id,
+                op_type=task.op_type,
+                submitted_at=task.submitted_at,
+                failed_at=self.sim.now,
+                attempts=task.attempts,
+                error=task.error or "",
+            )
+        )
+        self.metrics.counter("dead_letter").add()
+
+    def _finalize(self, task: Task) -> typing.Generator:
+        """Completion row + metrics + event post; never masks the outcome."""
+        if task.finished_at is None:
+            task.finished_at = self.sim.now
+        # Completion row: state transition + result payload. A faulted
+        # database must not turn a finished task's outcome into a new
+        # exception — count and move on.
+        try:
+            yield from self.database.write(rows=1)
+        except Exception:
+            self.metrics.counter("completion_write_failures").add()
+        self.metrics.counter(f"completed.{task.op_type}").add()
+        self.metrics.latency(f"latency.{task.op_type}").record(task.latency)
+        self.metrics.latency("latency.all").record(task.latency)
+        if self.event_log is not None:
+            severity = "info" if task.state == TaskState.SUCCESS else "warning"
+            self.event_log.post(
+                f"task.{task.op_type}",
+                f"task-{task.task_id}",
+                severity=severity,
+                message=task.error or "",
+            )
 
     # -- reporting ----------------------------------------------------------
 
@@ -160,6 +316,15 @@ class TaskManager:
 
     def failed(self) -> list[Task]:
         return [t for t in self.tasks if t.state == TaskState.ERROR]
+
+    def unaccounted(self) -> list[Task]:
+        """Tasks neither finished nor dead-lettered (should be empty at
+        quiescence — the R-X3 acceptance check)."""
+        return [
+            t
+            for t in self.tasks
+            if t.state not in (TaskState.SUCCESS, TaskState.ERROR)
+        ]
 
     @property
     def queue_depth(self) -> float:

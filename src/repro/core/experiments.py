@@ -70,6 +70,7 @@ class StormRig:
         hosts: int = 16,
         datastores: int = 4,
         datastore_capacity_gb: float = 100_000.0,
+        host_memory_gb: float = 128.0,
         costs: ControlPlaneCosts = DEFAULT_COSTS,
         config: ControlPlaneConfig | None = None,
     ) -> None:
@@ -91,7 +92,9 @@ class StormRig:
         ]
         self.hosts = []
         for index in range(hosts):
-            host = inventory.create(Host, name=f"esx{index:02d}")
+            host = inventory.create(
+                Host, name=f"esx{index:02d}", memory_gb=host_memory_gb
+            )
             self.cluster.add_host(host)
             for datastore in self.datastores:
                 host.mount(datastore)
@@ -809,6 +812,217 @@ def experiment_x2_stats_tax(seed: int = 0, quick: bool = False) -> ExperimentRes
     )
 
 
+def experiment_x3_fault_goodput(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-X3 (extension): provisioning goodput under faults vs resilience.
+
+    An open-loop CLOUD_A-style deploy storm runs against a cluster while a
+    standard fault schedule flaps hosts, degrades host agents (latency +
+    drops), and slows the database. Three resilience postures are ablated:
+
+    - ``none``: first failure is final (the pre-resilience plane);
+    - ``retries``: the director re-places failed VMs with backoff;
+    - ``full``: retries plus per-agent circuit breakers (fail fast instead
+      of burning the call timeout), task deadlines, task-level retries for
+      non-host-pinned transients under a retry budget, and admission
+      shedding at the API gateway.
+
+    Goodput counts successfully deployed VMs over the arrival window.
+    Acceptance: goodput(none) < goodput(retries) < goodput(full); zero
+    dead letters and zero unaccounted tasks with full resilience.
+    """
+    from repro.cloud.api import AdmissionShed, ApiGateway
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization, User
+    from repro.controlplane.resilience import (
+        BreakerPolicy,
+        NO_RETRY,
+        RetryPolicy,
+        TaskDeadlineExceeded,
+    )
+    from repro.faults import FaultInjector, FaultTargets, standard_fault_schedule
+    from repro.faults.errors import InjectedFault, ShardUnavailable, TransientError
+    from repro.operations.base import OperationError
+    from repro.sim.events import AllOf
+    from repro.storage.copy_engine import CopyFailed
+
+    duration_s = 600.0 if quick else 1500.0
+    arrival_rate = 1.6  # deploys/s — moderate load (~0.65 of fault-free capacity)
+    fault_scale = 1.5
+    # Failure detection compressed to match the storm timescale: a 120s
+    # call timeout against 1500s of faults would spend the run detecting.
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=20.0)
+
+    # Director-level re-placement: the resilience the *cloud layer* adds.
+    replace_policy = RetryPolicy(
+        max_attempts=6,
+        base_backoff_s=2.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=30.0,
+        jitter=0.5,
+        retry_on=(TransientError, OperationError, TaskDeadlineExceeded),
+    )
+    # Task-level in-place retries: only faults that are not pinned to the
+    # placement decision (DB/shard transients). Host- and datastore-pinned
+    # failures (agent faults, copy faults) must fail fast so the director
+    # re-places them on different resources.
+    in_place_policy = RetryPolicy(
+        max_attempts=3,
+        base_backoff_s=1.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=15.0,
+        jitter=0.5,
+        retry_on=(InjectedFault, ShardUnavailable),
+    )
+    variants: list[tuple[str, ControlPlaneConfig, RetryPolicy, float | None]] = [
+        ("none", ControlPlaneConfig(), NO_RETRY, None),
+        ("retries", ControlPlaneConfig(), replace_policy, None),
+        (
+            "full",
+            ControlPlaneConfig(
+                retry_policy=in_place_policy,
+                retry_budget_ratio=0.2,
+                task_deadline_s=240.0,
+                breaker=BreakerPolicy(
+                    failure_threshold=3, cooldown_s=45.0, half_open_probes=1
+                ),
+            ),
+            replace_policy,
+            128.0,  # shed watermark on the dispatch backlog
+        ),
+    ]
+
+    rows = []
+    goodputs: dict[str, float] = {}
+    for label, config, director_policy, shed_watermark in variants:
+        rig = StormRig(
+            seed=seed,
+            hosts=16,
+            datastores=4,
+            host_memory_gb=512.0,
+            costs=costs,
+            config=config,
+        )
+        server = rig.server
+        catalog = Catalog("cloud-a")
+        item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+        org = Organization("acme", quota_vms=100_000, quota_storage_gb=1e9)
+        director = CloudDirector(
+            server, rig.cluster, rig.library, catalog, retry_policy=director_policy
+        )
+        gateway = ApiGateway(rig.sim, requests_per_minute=600.0, burst=50.0)
+        if shed_watermark is not None:
+            gateway.enable_shedding(
+                lambda srv=server: srv.tasks.queue_depth, shed_watermark
+            )
+        session = gateway.login(User("tenant", org))
+
+        injector = FaultInjector(
+            rig.sim,
+            FaultTargets.for_server(server),
+            standard_fault_schedule(duration_s, scale=fault_scale),
+            rng=rig.streams.stream("fault-injector"),
+        ).start()
+
+        shed = {"count": 0}
+        requests: list = []
+
+        def one_request(index: int) -> typing.Generator:
+            try:
+                yield from gateway.admit(session)
+            except AdmissionShed:
+                shed["count"] += 1
+                return
+            yield from director.deploy(
+                DeployRequest(org=org, item=item, vm_count=1, vapp_name=f"req{index}")
+            )
+
+        def arrivals() -> typing.Generator:
+            rng = rig.streams.stream("arrivals")
+            index = 0
+            while rig.sim.now < duration_s:
+                yield rig.sim.timeout(rng.expovariate(arrival_rate))
+                if rig.sim.now >= duration_s:
+                    break
+                requests.append(
+                    rig.sim.spawn(one_request(index), name=f"req-{index}")
+                )
+                index += 1
+
+        source = rig.sim.spawn(arrivals(), name="arrivals")
+        rig.sim.run(until=source)
+        if requests:
+            rig.sim.run(until=AllOf(rig.sim, requests))
+        drain = rig.sim.spawn(injector.drain(), name="fault-drain")
+        rig.sim.run(until=drain)
+
+        offered = len(requests)  # shed requests are in the list too
+        succeeded = sum(len(vapp.vms) for vapp in director.vapps)
+        # Goodput counts deploys that finished inside the arrival window;
+        # a VM delivered long after the backlog drains helped nobody.
+        timely = sum(
+            len(vapp.vms)
+            for vapp in director.vapps
+            if vapp.deployed_at is not None and vapp.deployed_at <= duration_s
+        )
+        goodput = timely * 3600.0 / duration_s
+        goodputs[label] = goodput
+        p99 = director.deploy_latency_p(0.99)
+        dead = len(server.tasks.dead_letters)
+        unaccounted = len(server.tasks.unaccounted())
+        breaker_opens = sum(
+            server.agent(host).metrics.counter("breaker_opens").value
+            for host in rig.hosts
+        )
+        rows.append(
+            [
+                label,
+                offered,
+                f"{succeeded} ({timely})",
+                f"{goodput:.0f}",
+                f"{p99:.1f}",
+                int(director.metrics.counter("vm_retries").value),
+                int(server.tasks.metrics.counter("retries").value),
+                int(breaker_opens),
+                shed["count"],
+                dead,
+                unaccounted,
+            ]
+        )
+    series = {
+        "goodput (VMs/hour)": [
+            (float(index), goodputs[label])
+            for index, (label, *_rest) in enumerate(variants)
+        ]
+    }
+    return ExperimentResult(
+        exp_id="R-X3",
+        title="Deploy goodput under a standard fault schedule (extension)",
+        headers=[
+            "resilience",
+            "offered",
+            "succeeded (timely)",
+            "goodput/h",
+            "p99 (s)",
+            "re-places",
+            "task retries",
+            "breaker opens",
+            "shed",
+            "dead letters",
+            "unaccounted",
+        ],
+        rows=rows,
+        series=series,
+        notes=(
+            "Same arrivals and fault windows per variant. Re-placement "
+            "recovers most faulted VMs; breakers + shedding + deadlines "
+            "keep timeout storms from eating the window (goodput "
+            f"{goodputs['none']:.0f} < {goodputs['retries']:.0f} < "
+            f"{goodputs['full']:.0f} VMs/h)."
+        ),
+    )
+
+
 EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-T1": experiment_t1_setups,
     "R-T2": experiment_t2_opmix,
@@ -825,6 +1039,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-F10": experiment_f10_lifetimes,
     "R-X1": experiment_x1_restart_storm,
     "R-X2": experiment_x2_stats_tax,
+    "R-X3": experiment_x3_fault_goodput,
 }
 
 

@@ -1,0 +1,49 @@
+"""Declarative fault injection for the control-plane simulator.
+
+``repro.faults`` turns the old ad-hoc ``_fail_next`` lists into a uniform
+model: every injectable component owns a :class:`FaultHook`, and a
+:class:`FaultInjector` process arms/disarms timed :class:`FaultSpec`
+windows from a :class:`FaultSchedule` against live targets.
+
+This package must stay import-light: ``repro.controlplane`` and
+``repro.storage`` import it, so it never imports them at runtime.
+"""
+
+from repro.faults.errors import InjectedFault, ShardUnavailable, TransientError
+from repro.faults.hooks import ALL_KEYS, FaultHook
+from repro.faults.injector import FaultEvent, FaultInjector, FaultTargets
+from repro.faults.schedule import (
+    AgentDegrade,
+    CopyFlakiness,
+    DatastoreOutage,
+    DbSlowdown,
+    FaultSchedule,
+    FaultSpec,
+    HostFlap,
+    ShardCrash,
+    SPEC_KINDS,
+    random_fault_schedule,
+    standard_fault_schedule,
+)
+
+__all__ = [
+    "ALL_KEYS",
+    "AgentDegrade",
+    "CopyFlakiness",
+    "DatastoreOutage",
+    "DbSlowdown",
+    "FaultEvent",
+    "FaultHook",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTargets",
+    "HostFlap",
+    "InjectedFault",
+    "ShardCrash",
+    "ShardUnavailable",
+    "SPEC_KINDS",
+    "TransientError",
+    "random_fault_schedule",
+    "standard_fault_schedule",
+]

@@ -1,0 +1,27 @@
+"""Fault taxonomy: the exception contract between injection and resilience.
+
+Resilience machinery (retries, circuit breakers) must distinguish
+*transient* failures — the kind a retry can plausibly mask — from
+programming errors and permanent conditions. Every modeled fault raised
+by an injection hook derives from :class:`TransientError`; retry policies
+default to retrying exactly that set.
+"""
+
+from __future__ import annotations
+
+
+class TransientError(Exception):
+    """A modeled, possibly-transient infrastructure failure.
+
+    Host-agent faults, injected copy failures, and shard outages all
+    derive from this; :class:`~repro.controlplane.resilience.RetryPolicy`
+    retries these by default and nothing else.
+    """
+
+
+class InjectedFault(TransientError):
+    """Generic fault raised by a :class:`~repro.faults.hooks.FaultHook`."""
+
+
+class ShardUnavailable(TransientError):
+    """A management-server shard is down; submissions to it fail."""

@@ -1,0 +1,386 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is an ordered collection of timed
+:class:`FaultSpec` windows; the :class:`~repro.faults.injector.FaultInjector`
+arms each spec at ``start_s`` and disarms it at ``start_s + duration_s``.
+Specs are frozen dataclasses so schedules are serializable
+(:meth:`FaultSchedule.from_dicts` / :meth:`FaultSchedule.to_dicts`) and
+hashable-by-value for reproducibility.
+
+Spec catalogue:
+
+==================  =========================================================
+``host_flap``       hosts disconnect for the window (calls fail fast,
+                    placement avoids them), then reconnect
+``agent_degrade``   host-agent calls slow down by ``latency_factor`` and/or
+                    fail with probability ``drop_rate``
+``db_slowdown``     every database service time is multiplied by ``factor``
+``datastore_outage``  copies into the named datastores fail
+``copy_flakiness``  every copy fails with probability ``fail_rate``
+``shard_crash``     submissions to the named management servers fail
+==================  =========================================================
+
+Targets are referenced *by name* (host names, datastore names, server
+names); empty target tuples mean "pick ``count`` at random from the live
+infrastructure" using the injector's seeded stream, keeping schedules
+portable across rig sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultTargets
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One timed fault window. Subclasses define arm/disarm behaviour."""
+
+    start_s: float
+    duration_s: float
+
+    kind: typing.ClassVar[str] = "abstract"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    # The injector calls select() once at arm time (resolving names and
+    # random picks into live components), then arm()/disarm() with the
+    # same selection and a unique per-window token.
+    def select(self, targets: "FaultTargets", rng: random.Random) -> list:
+        raise NotImplementedError
+
+    def arm(self, targets: "FaultTargets", token: object, selection: list) -> None:
+        raise NotImplementedError
+
+    def disarm(self, targets: "FaultTargets", token: object, selection: list) -> None:
+        raise NotImplementedError
+
+    def describe(self, selection: list) -> str:
+        # NB: never repr() live entities here — their back-references
+        # (host ↔ cluster ↔ vms) make dataclass repr blow up combinatorially.
+        names = ",".join(
+            item.name if hasattr(item, "name") else type(item).__name__
+            for item in selection
+        )
+        return f"{self.kind}[{names}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class HostFlap(FaultSpec):
+    """Hosts disconnect for the window, then reconnect."""
+
+    hosts: tuple[str, ...] = ()
+    count: int = 1
+
+    kind: typing.ClassVar[str] = "host_flap"
+
+    def select(self, targets, rng):
+        return targets.pick_hosts(self.hosts, self.count, rng)
+
+    def arm(self, targets, token, selection):
+        for host in selection:
+            targets.flap_down(host)
+
+    def disarm(self, targets, token, selection):
+        for host in selection:
+            targets.flap_up(host)
+
+
+@dataclasses.dataclass(frozen=True)
+class AgentDegrade(FaultSpec):
+    """Host-agent calls slow down and/or drop for the window."""
+
+    hosts: tuple[str, ...] = ()
+    count: int = 1
+    latency_factor: float = 1.0
+    drop_rate: float = 0.0
+
+    kind: typing.ClassVar[str] = "agent_degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1.0")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be in [0, 1]")
+        if self.latency_factor == 1.0 and self.drop_rate == 0.0:
+            raise ValueError("agent_degrade must degrade latency or drop calls")
+
+    def select(self, targets, rng):
+        return targets.pick_hosts(self.hosts, self.count, rng)
+
+    def arm(self, targets, token, selection):
+        for host in selection:
+            hook = targets.agent_hook(host)
+            if self.latency_factor > 1.0:
+                hook.set_latency(token, self.latency_factor)
+            if self.drop_rate > 0.0:
+                hook.set_drop(token, self.drop_rate)
+
+    def disarm(self, targets, token, selection):
+        for host in selection:
+            targets.agent_hook(host).disarm(token)
+
+
+@dataclasses.dataclass(frozen=True)
+class DbSlowdown(FaultSpec):
+    """Every database service time is multiplied by ``factor``."""
+
+    factor: float = 2.0
+
+    kind: typing.ClassVar[str] = "db_slowdown"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 1.0:
+            raise ValueError("factor must be > 1.0")
+
+    def select(self, targets, rng):
+        return targets.database_hooks()
+
+    def arm(self, targets, token, selection):
+        for hook in selection:
+            hook.set_latency(token, self.factor)
+
+    def disarm(self, targets, token, selection):
+        for hook in selection:
+            hook.disarm(token)
+
+    def describe(self, selection):
+        return f"{self.kind}[x{self.factor:g}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class DatastoreOutage(FaultSpec):
+    """Copies into the selected datastores fail for the window."""
+
+    datastores: tuple[str, ...] = ()
+    count: int = 1
+
+    kind: typing.ClassVar[str] = "datastore_outage"
+
+    def select(self, targets, rng):
+        return targets.pick_datastores(self.datastores, self.count, rng)
+
+    def arm(self, targets, token, selection):
+        for datastore in selection:
+            for hook in targets.copy_hooks():
+                hook.block((token, datastore.entity_id), key=datastore.entity_id)
+
+    def disarm(self, targets, token, selection):
+        for datastore in selection:
+            for hook in targets.copy_hooks():
+                hook.unblock((token, datastore.entity_id))
+
+
+@dataclasses.dataclass(frozen=True)
+class CopyFlakiness(FaultSpec):
+    """Every copy fails with probability ``fail_rate`` for the window."""
+
+    fail_rate: float = 0.5
+
+    kind: typing.ClassVar[str] = "copy_flakiness"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.fail_rate <= 1.0:
+            raise ValueError("fail_rate must be in (0, 1]")
+
+    def select(self, targets, rng):
+        return targets.copy_hooks()
+
+    def arm(self, targets, token, selection):
+        for hook in selection:
+            hook.set_drop(token, self.fail_rate)
+
+    def disarm(self, targets, token, selection):
+        for hook in selection:
+            hook.disarm(token)
+
+    def describe(self, selection):
+        return f"{self.kind}[p={self.fail_rate:g}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardCrash(FaultSpec):
+    """Submissions to the selected management servers fail for the window."""
+
+    shards: tuple[str, ...] = ()
+    count: int = 1
+
+    kind: typing.ClassVar[str] = "shard_crash"
+
+    def select(self, targets, rng):
+        return targets.pick_servers(self.shards, self.count, rng)
+
+    def arm(self, targets, token, selection):
+        for server in selection:
+            server.faults.block(token)
+
+    def disarm(self, targets, token, selection):
+        for server in selection:
+            server.faults.unblock(token)
+
+
+SPEC_KINDS: dict[str, type[FaultSpec]] = {
+    spec.kind: spec
+    for spec in (
+        HostFlap,
+        AgentDegrade,
+        DbSlowdown,
+        DatastoreOutage,
+        CopyFlakiness,
+        ShardCrash,
+    )
+}
+
+
+class FaultSchedule:
+    """An ordered set of fault windows driven by one injector run."""
+
+    def __init__(self, specs: typing.Iterable[FaultSpec] = ()) -> None:
+        self._specs: list[FaultSpec] = []
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        if not isinstance(spec, FaultSpec):
+            raise TypeError(f"expected a FaultSpec, got {type(spec).__name__}")
+        self._specs.append(spec)
+        return self
+
+    @property
+    def specs(self) -> list[FaultSpec]:
+        return list(self._specs)
+
+    @property
+    def horizon_s(self) -> float:
+        """Time by which every window has been disarmed."""
+        return max((spec.end_s for spec in self._specs), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> typing.Iterator[FaultSpec]:
+        return iter(self._specs)
+
+    # -- (de)serialization -------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, entries: typing.Sequence[dict]) -> "FaultSchedule":
+        """Build a schedule from ``[{"kind": ..., **fields}, ...]`` entries."""
+        schedule = cls()
+        for entry in entries:
+            fields = dict(entry)
+            kind = fields.pop("kind", None)
+            if kind not in SPEC_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {sorted(SPEC_KINDS)}"
+                )
+            spec_cls = SPEC_KINDS[kind]
+            for name in ("hosts", "datastores", "shards"):
+                if name in fields:
+                    fields[name] = tuple(fields[name])
+            schedule.add(spec_cls(**fields))
+        return schedule
+
+    def to_dicts(self) -> list[dict]:
+        out = []
+        for spec in self._specs:
+            entry = dataclasses.asdict(spec)
+            entry["kind"] = spec.kind
+            out.append(entry)
+        return out
+
+
+def standard_fault_schedule(duration_s: float, scale: float = 1.0) -> FaultSchedule:
+    """The R-X3 reference schedule, phased across ``duration_s``.
+
+    Three overlapping stress phases: an early host-flap window, a long
+    agent degradation running to near the end of the window (the
+    expensive one: latency inflation turns calls into timeout storms, and
+    slow/dropped calls back up behind the degraded agents' op slots), and
+    a late database slowdown, plus copy flakiness covering the middle of
+    the degradation. ``scale`` widens the blast radius (host counts and
+    rates) for harsher ablations.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    count = max(1, round(2 * scale))
+    return FaultSchedule(
+        [
+            HostFlap(
+                start_s=0.10 * duration_s, duration_s=0.20 * duration_s, count=count
+            ),
+            AgentDegrade(
+                start_s=0.25 * duration_s,
+                duration_s=0.70 * duration_s,
+                count=max(1, round(3 * scale)),
+                latency_factor=12.0 * scale,
+                drop_rate=min(0.9, 0.45 * scale),
+            ),
+            DbSlowdown(
+                start_s=0.55 * duration_s, duration_s=0.20 * duration_s, factor=3.0
+            ),
+            CopyFlakiness(
+                start_s=0.30 * duration_s,
+                duration_s=0.30 * duration_s,
+                fail_rate=min(0.9, 0.30 * scale),
+            ),
+            DatastoreOutage(
+                start_s=0.45 * duration_s, duration_s=0.10 * duration_s, count=1
+            ),
+        ]
+    )
+
+
+def random_fault_schedule(
+    rng: random.Random,
+    duration_s: float,
+    max_specs: int = 6,
+) -> FaultSchedule:
+    """A randomized schedule for property tests: any mix of fault kinds,
+    windows anywhere in ``[0, duration_s)``, always bounded."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    schedule = FaultSchedule()
+    for _ in range(rng.randint(1, max_specs)):
+        start = rng.uniform(0.0, duration_s * 0.8)
+        duration = rng.uniform(duration_s * 0.05, duration_s * 0.5)
+        kind = rng.choice(
+            ["host_flap", "agent_degrade", "db_slowdown", "copy_flakiness",
+             "datastore_outage", "shard_crash"]
+        )
+        if kind == "host_flap":
+            schedule.add(HostFlap(start, duration, count=rng.randint(1, 3)))
+        elif kind == "agent_degrade":
+            schedule.add(
+                AgentDegrade(
+                    start,
+                    duration,
+                    count=rng.randint(1, 3),
+                    latency_factor=rng.uniform(2.0, 20.0),
+                    drop_rate=rng.uniform(0.1, 0.8),
+                )
+            )
+        elif kind == "db_slowdown":
+            schedule.add(DbSlowdown(start, duration, factor=rng.uniform(1.5, 6.0)))
+        elif kind == "copy_flakiness":
+            schedule.add(CopyFlakiness(start, duration, fail_rate=rng.uniform(0.1, 0.9)))
+        elif kind == "datastore_outage":
+            schedule.add(DatastoreOutage(start, duration, count=1))
+        else:
+            schedule.add(ShardCrash(start, duration, count=1))
+    return schedule

@@ -154,6 +154,12 @@ class CloneVM(Operation):
                 CONTROL,
                 agent.call("create_disk", costs.host_create_disk_s),
             )
+            # Delta creation moves no bytes, but it still needs the target
+            # datastore's storage stack to accept the format metadata:
+            # consult the copy-path fault hook (keyed by datastore) so
+            # outages and copy flakiness gate linked clones too, without
+            # charging any data-plane time.
+            server.copy_engine.faults.fire(key=self.target_datastore.entity_id)
             backing = create_linked_backing(anchor, self.target_datastore)
             vm.attach_disk(
                 VirtualDisk(

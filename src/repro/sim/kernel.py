@@ -79,7 +79,18 @@ class Process(Event):
     def _throw_in(self, exc: BaseException) -> None:
         if self.triggered:
             return
+        waited = self._waiting_on
         self._detach()
+        # Withdrawable waits (resource requests) must not leak: a process
+        # interrupted while queued would otherwise hold its place in line
+        # forever; one granted in the same tick would hold the slot itself.
+        if waited is not None and hasattr(waited, "withdraw"):
+            if not waited.triggered:
+                waited.withdraw()
+            else:
+                resource = getattr(waited, "resource", None)
+                if resource is not None:
+                    resource.release(waited)
         self._step(lambda: self._generator.throw(exc))
 
     def _resume(self, event: Event) -> None:

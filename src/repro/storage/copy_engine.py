@@ -8,9 +8,12 @@ the engine's statistics so R-F4 can report total data-plane traffic.
 
 from __future__ import annotations
 
+import random
 import typing
 
 from repro.datacenter.entities import Datastore
+from repro.faults.errors import TransientError
+from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Simulator
 from repro.sim.stats import MetricsRegistry
 from repro.storage.bandwidth import FairShareLink
@@ -18,8 +21,8 @@ from repro.storage.bandwidth import FairShareLink
 GB = 1024.0**3
 
 
-class CopyFailed(Exception):
-    """Raised when a copy is aborted by failure injection."""
+class CopyFailed(TransientError):
+    """Raised when a copy is aborted by failure injection or an outage."""
 
 
 class CopyEngine:
@@ -30,6 +33,7 @@ class CopyEngine:
         sim: Simulator,
         default_capacity_bps: float = 200 * 1024 * 1024,
         metrics: MetricsRegistry | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         """``default_capacity_bps`` defaults to ~200 MB/s effective per
         datastore — mid-range FC/iSCSI array bandwidth of the paper's era."""
@@ -37,7 +41,7 @@ class CopyEngine:
         self.default_capacity_bps = default_capacity_bps
         self.metrics = metrics or MetricsRegistry(sim, prefix="copy")
         self._links: dict[str, FairShareLink] = {}
-        self._fail_next: list[Exception] = []
+        self.faults = FaultHook(sim, name="copy", rng=rng, error_factory=CopyFailed)
 
     def link_for(self, datastore: Datastore) -> FairShareLink:
         if datastore.entity_id not in self._links:
@@ -54,7 +58,7 @@ class CopyEngine:
 
     def inject_failure(self, error: Exception | None = None) -> None:
         """Make the next copy fail (failure-injection tests)."""
-        self._fail_next.append(error or CopyFailed("injected copy failure"))
+        self.faults.arm_once(error or CopyFailed("injected copy failure"))
 
     def copy(
         self,
@@ -67,8 +71,8 @@ class CopyEngine:
         Allocates space on ``destination`` before moving bytes and releases
         it again on failure, so failed clones don't leak capacity.
         """
-        if self._fail_next:
-            raise self._fail_next.pop(0)
+        # Keyed by destination: a datastore outage fails copies *into* it.
+        self.faults.fire(key=destination.entity_id)
         start = self.sim.now
         destination.allocate(size_gb)
         try:

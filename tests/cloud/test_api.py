@@ -156,3 +156,41 @@ class TestAdmission:
             ApiGateway(sim, burst=0.0)
         with pytest.raises(ValueError):
             ApiGateway(sim, session_idle_timeout_s=0.0)
+
+
+class TestShedding:
+    def test_shed_above_watermark(self, sim, user):
+        from repro.cloud.api import AdmissionShed
+
+        depth = {"value": 10.0}
+        gateway = ApiGateway(sim)
+        gateway.enable_shedding(lambda: depth["value"], watermark=5.0)
+        session = gateway.login(user)
+
+        def proc():
+            with pytest.raises(AdmissionShed, match="shed"):
+                yield from gateway.admit(session)
+            return True
+
+        assert sim.run(until=sim.spawn(proc())) is True
+        assert gateway.metrics.counter("shed").value == 1
+        # A shed request never reached the token bucket.
+        assert gateway.metrics.counter("admitted").value == 0
+
+    def test_admits_below_watermark(self, sim, user):
+        depth = {"value": 10.0}
+        gateway = ApiGateway(sim)
+        gateway.enable_shedding(lambda: depth["value"], watermark=5.0)
+        session = gateway.login(user)
+        depth["value"] = 4.0
+        wait = drive(sim, gateway.admit(session))
+        assert wait == 0.0
+        assert gateway.metrics.counter("shed").value == 0
+        assert gateway.metrics.counter("admitted").value == 1
+
+    def test_watermark_validation(self, sim):
+        gateway = ApiGateway(sim)
+        with pytest.raises(ValueError, match="watermark"):
+            gateway.enable_shedding(lambda: 0.0, watermark=0.0)
+        with pytest.raises(ValueError, match="shed_watermark"):
+            ApiGateway(sim, shed_watermark=-1.0)

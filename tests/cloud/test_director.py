@@ -101,6 +101,68 @@ def test_retry_masks_transient_host_fault(cloud):
     assert any("-r1" in vm.name for vm in vapp.vms)
 
 
+def test_retry_excludes_failed_host(cloud):
+    cloud.server.agent(cloud.hosts[0]).inject_failure()
+    vapp = cloud.run_deploy(request(cloud, count=1))
+    assert vapp.state == VAppState.RUNNING
+    (vm,) = vapp.vms
+    assert "-r1" in vm.name
+    # Round-robin would re-pick hosts[0]; the exclusion forces it elsewhere.
+    assert vm.host is not cloud.hosts[0]
+
+
+def test_retry_backs_off_before_resubmission(cloud):
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.faults import TransientError
+
+    cloud.director.retry_policy = RetryPolicy(
+        max_attempts=2, base_backoff_s=50.0, jitter=0.0, max_backoff_s=50.0,
+        retry_on=(TransientError,),
+    )
+    times = []
+    original = cloud.server.submit
+
+    def recording_submit(operation, **kw):
+        times.append(cloud.sim.now)
+        return original(operation, **kw)
+
+    cloud.server.submit = recording_submit
+    cloud.server.agent(cloud.hosts[0]).inject_failure()
+    vapp = cloud.run_deploy(request(cloud, count=1))
+    assert vapp.state == VAppState.RUNNING
+    assert len(times) == 2
+    # The retry waited out the policy's 50s backoff, not resubmitted hot.
+    assert times[1] - times[0] >= 50.0
+
+
+def test_copy_failure_excludes_datastore_on_retry(cloud):
+    # Full clones move bytes: a copy fault is pinned to the datastore, so
+    # the retry must re-place on a different datastore, not a new host.
+    cloud.server.copy_engine.faults.arm_once()
+    vapp = cloud.run_deploy(request(cloud, item="web-full", count=1))
+    assert vapp.state == VAppState.RUNNING
+    (vm,) = vapp.vms
+    assert cloud.director.metrics.counter("vm_retries").value == 1
+    # Round-robin picked datastores[0] first; the retry steered away.
+    assert all(disk.datastore is not cloud.datastores[0] for disk in vm.disks)
+
+
+def test_breaker_engaged_host_avoided(cloud):
+    from repro.controlplane.resilience import BreakerPolicy, CircuitBreaker
+
+    agent = cloud.server.agent(cloud.hosts[0])
+    agent.breaker = CircuitBreaker(
+        cloud.sim, BreakerPolicy(failure_threshold=1, cooldown_s=1e9), name="esx00"
+    )
+    agent.breaker.record_failure()  # trip it
+    vapp = cloud.run_deploy(request(cloud, count=1))
+    (vm,) = vapp.vms
+    # Steered around the tripped host up front: no failed attempt at all.
+    assert vm.host is not cloud.hosts[0]
+    assert cloud.director.metrics.counter("breaker_avoidance").value >= 1
+    assert cloud.director.metrics.counter("vm_retries").value == 0
+
+
 def test_retries_validation(cloud):
     from repro.cloud import CloudDirector
 

@@ -83,3 +83,23 @@ def test_choose_returns_pair(cluster):
     host, datastore = PlacementEngine().choose(cluster, required_gb=1.0)
     assert host in cluster.hosts
     assert datastore in cluster.shared_datastores()
+
+
+def test_exclude_datastores_redirects(cluster):
+    smaller = Datastore(entity_id="ds-2", name="lun1", capacity_gb=500.0)
+    for host in cluster.hosts:
+        host.mount(smaller)
+    engine = PlacementEngine(policy="least_loaded")
+    # ds-1 is most-free and would win every round; excluding it redirects.
+    assert engine.choose_datastore(cluster, 10.0).entity_id == "ds-1"
+    chosen = engine.choose_datastore(cluster, 10.0, exclude_datastores={"ds-1"})
+    assert chosen.entity_id == "ds-2"
+
+
+def test_datastore_exclusion_is_soft(cluster):
+    # Unlike host exclusion, excluding every datastore falls back to the
+    # excluded candidates rather than failing placement outright.
+    chosen = PlacementEngine().choose_datastore(
+        cluster, 10.0, exclude_datastores={"ds-1"}
+    )
+    assert chosen.entity_id == "ds-1"

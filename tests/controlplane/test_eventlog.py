@@ -94,6 +94,17 @@ class TestTaskEventIntegration:
         with pytest.raises(RuntimeError):
             cloud.server.enable_event_logging()
 
+    def test_reenable_after_stop(self, cloud):
+        """What-if replays toggle logging around the window of interest."""
+        log = cloud.server.enable_event_logging(flush_interval_s=5.0)
+        log.post("op", "vm-1")
+        log.stop()
+        cloud.sim.run()  # flusher drains the backlog and exits
+        assert not log.active
+        fresh = cloud.server.enable_event_logging(until=100.0)
+        assert fresh is not log
+        assert cloud.server.tasks.event_log is fresh
+
     def test_churn_amplifies_event_volume(self, cloud):
         """Cloud churn = insert flood: events scale with tasks."""
         log = cloud.server.enable_event_logging(until=100_000.0)

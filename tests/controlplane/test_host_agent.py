@@ -125,3 +125,46 @@ def test_utilization_positive_after_calls():
     run_call(sim, agent)
     sim.run(until=sim.now + 10.0)
     assert 0.0 < agent.utilization() <= 1.0
+
+
+def test_timeout_charges_busy_seconds():
+    sim = Simulator()
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=0.5)
+    _, agent = make_agent(sim, costs=costs)
+
+    def proc():
+        with pytest.raises(HostAgentError, match="timed out"):
+            yield from agent.call("slow-op", 10.0)
+
+    process = sim.spawn(proc())
+    sim.run(until=process)
+    # The slot was held (and the agent busy) for the full timeout, so
+    # utilization counts it — timeout storms must not look idle.
+    sim.run(until=1.0)
+    assert agent.utilization() == pytest.approx(0.5 / (1.0 * 8))
+
+
+def test_open_breaker_fails_fast_without_holding_a_slot():
+    from repro.controlplane.resilience import BreakerPolicy, CircuitBreaker
+
+    sim = Simulator()
+    _, agent = make_agent(sim)
+    agent.breaker = CircuitBreaker(
+        sim, BreakerPolicy(failure_threshold=1, cooldown_s=60.0), name="esx01"
+    )
+    agent.inject_failure()
+
+    def proc():
+        with pytest.raises(HostAgentError, match="injected"):
+            yield from agent.call("op", 1.0)
+        start = sim.now
+        with pytest.raises(HostAgentError, match="circuit breaker open"):
+            yield from agent.call("op", 1.0)
+        # Fail fast: no slot wait, no timeout burned.
+        assert sim.now == start
+        yield sim.timeout(0.0)
+
+    process = sim.spawn(proc())
+    sim.run(until=process)
+    assert agent.metrics.counter("breaker_rejections").value == 1
+    assert agent.breaker.fast_fails == 1
