@@ -1,0 +1,45 @@
+"""R-F-phase: stacked per-phase provisioning latency vs concurrency.
+
+Expected shape: full clones are copy-dominated at every concurrency;
+linked clones strip away the data plane, and as concurrency rises the
+control-plane trio (queue + placement + db) grows from a minority share
+to the majority of each clone's wall time.
+"""
+
+
+def _parse(result):
+    headers = result.headers
+    trio_col = headers.index("ctl trio %")
+    copy_col = headers.index("copy")
+    wall_col = headers.index("wall s")
+    cells = {}
+    for row in result.rows:
+        cells[(row[0], int(row[1]))] = {
+            "trio_pct": float(row[trio_col]),
+            "copy_s": float(row[copy_col]),
+            "wall_s": float(row[wall_col]),
+        }
+    return cells
+
+
+def test_bench_phase_breakdown(exhibit):
+    result = exhibit("R-F-phase")
+    cells = _parse(result)
+    concurrencies = sorted(conc for kind, conc in cells if kind == "linked")
+    low, high = concurrencies[0], concurrencies[-1]
+
+    # Full clones: the copy dwarfs everything else at every concurrency.
+    for conc in concurrencies:
+        full = cells[("full", conc)]
+        assert full["copy_s"] > 0.5 * full["wall_s"]
+
+    # Linked clones: no data plane at all, and the control-plane trio's
+    # share grows with concurrency until it dominates.
+    for conc in concurrencies:
+        assert cells[("linked", conc)]["copy_s"] == 0.0
+    assert cells[("linked", high)]["trio_pct"] > cells[("linked", low)]["trio_pct"]
+    # The headline claim needs the full-size sweep (concurrency 64); the
+    # quick sweep tops out at 16, where the trio is rising but not yet
+    # a majority.
+    if high >= 64:
+        assert cells[("linked", high)]["trio_pct"] > 50.0

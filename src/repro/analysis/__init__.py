@@ -20,9 +20,25 @@ from repro.analysis.comparison import compare_traces, comparison_report
 from repro.analysis.latency import latency_by_type, latency_cdf, latency_stats
 from repro.analysis.mix import mix_comparison, operation_counts, operation_mix
 from repro.analysis.report import render_series, render_table
+from repro.analysis.spans import (
+    aggregate_phase_attribution,
+    control_plane_share,
+    critical_path,
+    critical_path_length,
+    critical_path_phases,
+    phase_attribution,
+    queueing_service_split,
+)
 from repro.analysis.timeseries import arrival_rate_series, completion_rate_series
 
 __all__ = [
+    "aggregate_phase_attribution",
+    "control_plane_share",
+    "critical_path",
+    "critical_path_length",
+    "critical_path_phases",
+    "phase_attribution",
+    "queueing_service_split",
     "arrival_cov",
     "arrival_rate_series",
     "burstiness_summary",

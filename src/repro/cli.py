@@ -8,6 +8,9 @@ Commands:
 - ``storm`` — a one-off clone storm with explicit knobs.
 - ``faults`` — a deploy storm under the standard fault schedule, with
   the fault timeline and resilience outcome printed.
+- ``trace`` — a traced clone storm: per-phase attribution and the
+  critical path printed, span tree exportable as Chrome trace JSON
+  (load in ``chrome://tracing`` / Perfetto) or JSONL.
 - ``list`` — enumerate profiles and experiments.
 """
 
@@ -76,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
     faults_cmd.add_argument("--seed", type=int, default=0)
     faults_cmd.add_argument("--no-resilience", action="store_true",
                             help="disable retries/breakers/deadlines")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="traced clone storm: phase attribution + critical path"
+    )
+    trace_cmd.add_argument("--clones", type=int, default=16)
+    trace_cmd.add_argument("--concurrency", type=int, default=8)
+    trace_cmd.add_argument("--full", action="store_true", help="full clones (default linked)")
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument(
+        "--chrome-out", help="write spans as Chrome trace-event JSON"
+    )
+    trace_cmd.add_argument("--jsonl-out", help="write spans as JSONL")
 
     sub.add_parser("list", help="list profiles and experiments")
     return parser
@@ -238,6 +253,63 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.spans import (
+        critical_path,
+        critical_path_phases,
+        phase_attribution,
+        queueing_service_split,
+    )
+    from repro.tracing import write_chrome_trace, write_spans_jsonl
+
+    rig = StormRig(seed=args.seed, traced=True)
+    outcome = rig.closed_loop_storm(
+        args.clones, args.concurrency, linked=not args.full
+    )
+    mode = "full" if args.full else "linked"
+    tasks = rig.server.tasks.succeeded()
+    roots = [task.span for task in tasks]
+    print(
+        f"{mode} storm: {outcome['completed']} clones traced, "
+        f"{len(rig.tracer.spans)} spans, "
+        f"{len(rig.tracer.open_spans())} left open"
+    )
+
+    totals: dict[str, float] = {}
+    for root in roots:
+        for phase, seconds in phase_attribution(root).items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    attributed = sum(totals.values())
+    print("\nper-phase attribution (mean s/clone):")
+    for phase, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+        share = seconds / attributed * 100.0 if attributed else 0.0
+        print(f"  {phase:<10} {seconds / len(roots):8.2f}  ({share:.0f}%)")
+
+    waits = {"queueing": 0.0, "service": 0.0}
+    for root in roots:
+        for bucket, seconds in queueing_service_split(root).items():
+            waits[bucket] += seconds
+    print(
+        f"\nqueueing vs service: {waits['queueing'] / len(roots):.2f}s waiting, "
+        f"{waits['service'] / len(roots):.2f}s served (per clone)"
+    )
+
+    slowest = max(tasks, key=lambda task: task.span.duration)
+    segments = critical_path(slowest.span)
+    print(f"\ncritical path of the slowest clone ({slowest.span.duration:.2f}s):")
+    for phase, seconds in sorted(critical_path_phases(segments).items(), key=lambda kv: -kv[1]):
+        print(f"  {phase:<10} {seconds:8.2f}s")
+
+    spans = rig.tracer.spans
+    if args.chrome_out:
+        count = write_chrome_trace(spans, args.chrome_out)
+        print(f"\nwrote {count} trace events to {args.chrome_out} (chrome://tracing)")
+    if args.jsonl_out:
+        count = write_spans_jsonl(spans, args.jsonl_out)
+        print(f"wrote {count} spans to {args.jsonl_out}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -255,6 +327,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "storm": cmd_storm,
     "sweep": cmd_sweep,
     "faults": cmd_faults,
+    "trace": cmd_trace,
     "list": cmd_list,
 }
 

@@ -18,6 +18,7 @@ from repro.faults.errors import TransientError
 from repro.sim.kernel import Simulator
 from repro.sim.resources import TokenBucket
 from repro.sim.stats import MetricsRegistry
+from repro.tracing import NULL_SPAN, PHASE_ADMISSION
 
 
 class SessionError(Exception):
@@ -153,24 +154,32 @@ class ApiGateway:
         return self._buckets[org.name]
 
     def admit(
-        self, session: Session, cost: float = 1.0
+        self, session: Session, cost: float = 1.0, span=NULL_SPAN
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: validate + throttle; returns the admission wait.
 
         With shedding enabled, an overloaded control plane rejects the
         request up front (:class:`AdmissionShed`) instead of queueing it.
         """
-        self.validate(session)
-        if self.shed_watermark is not None and self.queue_depth_probe is not None:
-            depth = self.queue_depth_probe()
-            if depth >= self.shed_watermark:
-                self.metrics.counter("shed").add()
-                raise AdmissionShed(
-                    f"task backlog {depth:.0f} >= watermark "
-                    f"{self.shed_watermark:.0f}; request shed"
-                )
-        start = self.sim.now
-        yield from self._bucket(session.user.org).take(cost)
+        admit_span = span.child(
+            "gateway.admit", phase=PHASE_ADMISSION, tags={"wait": True}
+        )
+        try:
+            self.validate(session)
+            if self.shed_watermark is not None and self.queue_depth_probe is not None:
+                depth = self.queue_depth_probe()
+                if depth >= self.shed_watermark:
+                    self.metrics.counter("shed").add()
+                    raise AdmissionShed(
+                        f"task backlog {depth:.0f} >= watermark "
+                        f"{self.shed_watermark:.0f}; request shed"
+                    )
+            start = self.sim.now
+            yield from self._bucket(session.user.org).take(cost)
+        except BaseException as exc:
+            admit_span.finish(error=type(exc).__name__)
+            raise
+        admit_span.finish()
         wait = self.sim.now - start
         self.metrics.counter("admitted").add()
         self.metrics.latency("admission_wait").record(wait)

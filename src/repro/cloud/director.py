@@ -28,6 +28,7 @@ from repro.controlplane.resilience import RetryPolicy
 from repro.controlplane.server import ManagementServer
 from repro.faults.errors import TransientError
 from repro.storage.copy_engine import CopyFailed
+from repro.tracing import PHASE_REQUEST, PHASE_RETRY
 
 
 @dataclasses.dataclass
@@ -131,9 +132,16 @@ class CloudDirector:
         self.metrics.counter("deploy_requests").add()
         self.metrics.counter("vm_requests").add(request.vm_count)
 
+        request_span = self.server.tracer.start_trace(
+            f"deploy.{vapp.name}",
+            phase=PHASE_REQUEST,
+            tags={"org": request.org.name, "vms": request.vm_count},
+        )
         workers = [
             self.sim.spawn(
-                self._deploy_one(request, template, vapp, index, storage_per_vm),
+                self._deploy_one(
+                    request, template, vapp, index, storage_per_vm, request_span
+                ),
                 name=f"deploy:{vapp.name}:{index}",
             )
             for index in range(request.vm_count)
@@ -152,6 +160,8 @@ class CloudDirector:
             self.metrics.counter("vm_failures").add(failures)
         vapp.deployed_at = self.sim.now
         vapp.settle(failures)
+        request_span.annotate("failures", failures)
+        request_span.finish(error="DeployFailed" if failures else None)
         self.metrics.latency("deploy_latency").record(vapp.deploy_latency)
         self.metrics.counter(f"vapp_{vapp.state.value}").add()
         return vapp
@@ -163,6 +173,7 @@ class CloudDirector:
         vapp: VApp,
         index: int,
         storage_per_vm: float,
+        request_span,
     ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
         """One member VM's deploy with policy-driven re-placement retries.
 
@@ -172,6 +183,26 @@ class CloudDirector:
         how self-service portals mask transient faults from tenants.
         Returns the VM, or None after exhausting retries.
         """
+        vm_span = request_span.child(f"vm-{index}", phase=PHASE_REQUEST)
+        try:
+            result = yield from self._deploy_one_traced(
+                request, template, vapp, index, storage_per_vm, vm_span
+            )
+        except BaseException as exc:
+            vm_span.finish(error=type(exc).__name__)
+            raise
+        vm_span.finish(error=None if result is not None else "DeployFailed")
+        return result
+
+    def _deploy_one_traced(
+        self,
+        request: DeployRequest,
+        template,
+        vapp: VApp,
+        index: int,
+        storage_per_vm: float,
+        vm_span,
+    ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
         policy = self._effective_policy()
         excluded: set[str] = set()
         excluded_ds: set[str] = set()
@@ -211,7 +242,9 @@ class CloudDirector:
             operation = DeployFromTemplate(
                 template, name, host, datastore, linked=request.item.linked
             )
-            process = self.server.submit(operation)
+            vm_span.annotate("host", host.name)
+            vm_span.annotate("attempts", attempt + 1)
+            process = self.server.submit(operation, span=vm_span)
             try:
                 task = yield process
             except Exception as error:
@@ -225,7 +258,13 @@ class CloudDirector:
                     return None
                 delay = policy.backoff_s(attempt + 1, self._retry_rng)
                 if delay > 0:
+                    backoff_span = vm_span.child(
+                        "replacement.backoff",
+                        phase=PHASE_RETRY,
+                        tags={"wait": True},
+                    )
                     yield self.sim.timeout(delay)
+                    backoff_span.finish()
                 continue
             return task.result
         return None

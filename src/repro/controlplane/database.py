@@ -16,6 +16,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.random import bounded, lognormal_from_median
 from repro.sim.resources import Resource
 from repro.sim.stats import MetricsRegistry
+from repro.tracing import NULL_SPAN, PHASE_DB, PHASE_QUEUE
 from repro.controlplane.costs import ControlPlaneCosts
 
 
@@ -51,35 +52,49 @@ class DatabaseModel:
         draw = lognormal_from_median(self.rng, median, self.costs.sigma)
         return bounded(draw, median * 0.25, median * 10.0) * self._slowdown
 
-    def write(self, rows: int = 1) -> typing.Generator[typing.Any, typing.Any, float]:
+    def write(
+        self, rows: int = 1, span=NULL_SPAN
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: write ``rows`` row-groups; returns elapsed seconds."""
         if rows < 1:
             raise ValueError("rows must be >= 1")
         per_row = self.costs.db_write_s
         if self.batching:
             per_row /= self.costs.db_batch_factor
-        return (yield from self._execute(per_row * rows, "writes", rows))
+        return (yield from self._execute(per_row * rows, "writes", rows, span))
 
-    def read(self, rows: int = 1) -> typing.Generator[typing.Any, typing.Any, float]:
+    def read(
+        self, rows: int = 1, span=NULL_SPAN
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: read ``rows`` row-groups; returns elapsed seconds."""
         if rows < 1:
             raise ValueError("rows must be >= 1")
-        return (yield from self._execute(self.costs.db_read_s * rows, "reads", rows))
+        return (yield from self._execute(self.costs.db_read_s * rows, "reads", rows, span))
 
     def _execute(
-        self, median: float, kind: str, rows: int
+        self, median: float, kind: str, rows: int, span=NULL_SPAN
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         start = self.sim.now
-        # Injected DB faults surface before any connection is consumed:
-        # one-shot errors fail the statement, latency windows stretch it.
-        factor = self.faults.fire()
-        request = self.pool.request()
-        yield request
-        service = self._service_time(median) * factor
+        op_span = span.child(f"db.{kind}", phase=PHASE_DB, tags={"rows": rows})
         try:
-            yield self.sim.timeout(service)
-        finally:
-            self.pool.release(request)
+            # Injected DB faults surface before any connection is consumed:
+            # one-shot errors fail the statement, latency windows stretch it.
+            factor = self.faults.fire()
+            request = self.pool.request()
+            wait_span = op_span.child(
+                "db.pool_wait", phase=PHASE_QUEUE, tags={"wait": True}
+            )
+            yield request
+            wait_span.finish()
+            service = self._service_time(median) * factor
+            try:
+                yield self.sim.timeout(service)
+            finally:
+                self.pool.release(request)
+        except BaseException as exc:
+            op_span.finish(error=type(exc).__name__)
+            raise
+        op_span.finish()
         self._busy_seconds += service
         self.metrics.counter(kind).add(rows)
         self.metrics.latency(f"{kind}_latency").record(self.sim.now - start)

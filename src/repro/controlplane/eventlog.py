@@ -16,6 +16,7 @@ import typing
 
 from repro.sim.kernel import Simulator
 from repro.sim.stats import MetricsRegistry
+from repro.tracing import NULL_TRACER, PHASE_EVENTLOG
 from repro.controlplane.database import DatabaseModel
 
 INFO = "info"
@@ -61,6 +62,9 @@ class EventLog:
         self.rows_per_event = rows_per_event
         self.max_batch = max_batch
         self.metrics = MetricsRegistry(sim, prefix="events")
+        # Set by the owning server when tracing is on: flushes get their
+        # own root spans (they run outside any task).
+        self.tracer = NULL_TRACER
         self.events: list[ManagementEvent] = []
         self._pending: list[ManagementEvent] = []
         self._until: float | None = None
@@ -124,7 +128,15 @@ class EventLog:
             self._pending[self.max_batch :],
         )
         rows = max(1, math.ceil(len(batch) * self.rows_per_event))
-        yield from self.database.write(rows=rows)
+        span = self.tracer.start_trace(
+            "eventlog.flush", phase=PHASE_EVENTLOG, tags={"events": len(batch)}
+        )
+        try:
+            yield from self.database.write(rows=rows, span=span)
+        except BaseException as exc:
+            span.finish(error=type(exc).__name__)
+            raise
+        span.finish()
         self.metrics.counter("flushed").add(len(batch))
         self.metrics.counter("flush_batches").add()
         return len(batch)

@@ -24,6 +24,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.random import bounded, lognormal_from_median
 from repro.sim.resources import Resource
 from repro.sim.stats import MetricsRegistry
+from repro.tracing import NULL_SPAN, PHASE_AGENT, PHASE_QUEUE
 from repro.controlplane.costs import ControlPlaneCosts
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -75,7 +76,7 @@ class HostAgent:
             self.breaker.record_failure()
 
     def call(
-        self, kind: str, median_s: float
+        self, kind: str, median_s: float, span=NULL_SPAN
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: one agent call; returns elapsed seconds.
 
@@ -83,6 +84,21 @@ class HostAgent:
         breaker is open, a fault was injected, or service exceeds the
         configured timeout.
         """
+        start = self.sim.now
+        call_span = span.child(
+            f"hostd.{kind}", phase=PHASE_AGENT, tags={"host": self.host.name}
+        )
+        try:
+            yield from self._call(kind, median_s, call_span)
+        except BaseException as exc:
+            call_span.finish(error=type(exc).__name__)
+            raise
+        call_span.finish()
+        return self.sim.now - start
+
+    def _call(
+        self, kind: str, median_s: float, span
+    ) -> typing.Generator[typing.Any, typing.Any, None]:
         if self.breaker is not None and not self.breaker.allow():
             self.metrics.counter("breaker_rejections").add()
             raise HostAgentError(
@@ -99,7 +115,11 @@ class HostAgent:
             raise
         start = self.sim.now
         request = self.slots.request()
+        wait_span = span.child(
+            "hostd.slot_wait", phase=PHASE_QUEUE, tags={"wait": True}
+        )
         yield request
+        wait_span.finish()
         service = (
             bounded(
                 lognormal_from_median(self.rng, median_s, self.costs.sigma),
@@ -129,7 +149,6 @@ class HostAgent:
         self._note_success()
         self.metrics.counter("calls").add()
         self.metrics.latency("call_latency").record(self.sim.now - start)
-        return self.sim.now - start
 
     @property
     def queue_depth(self) -> int:

@@ -32,6 +32,7 @@ from repro.controlplane.host_agent import HostAgent
 from repro.controlplane.locks import LockManager
 from repro.controlplane.resilience import CircuitBreaker, RetryBudget
 from repro.controlplane.task_manager import Task, TaskManager
+from repro.tracing import NULL_SPAN, NULL_TRACER, PHASE_CPU, PHASE_QUEUE
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.operations.base import Operation
@@ -48,12 +49,14 @@ class ManagementServer:
         config: ControlPlaneConfig | None = None,
         name: str = "vc-1",
         storage_capacity_bps: float | None = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.costs = costs
         self.config = config or ControlPlaneConfig()
         self.streams = streams
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = MetricsRegistry(sim, prefix=name)
         self.inventory = Inventory()
 
@@ -85,6 +88,7 @@ class ManagementServer:
             retry_budget=self.retry_budget,
             task_deadline_s=self.config.task_deadline_s,
             rng=streams.stream(f"{name}:retry"),
+            tracer=self.tracer,
         )
         self.cpu = Resource(sim, capacity=self.config.cpu_workers, name=f"{name}-cpu")
         self._cpu_rng = streams.stream(f"{name}:cpu")
@@ -134,6 +138,7 @@ class ManagementServer:
             rows_per_event=rows_per_event,
         )
         self.tasks.event_log = self.event_log
+        self.event_log.tracer = self.tracer
         self.event_log.start(until=until)
         return self.event_log
 
@@ -177,20 +182,32 @@ class ManagementServer:
 
     # -- CPU model -------------------------------------------------------------
 
-    def cpu_work(self, median_s: float) -> typing.Generator[typing.Any, typing.Any, float]:
-        """Process-style: occupy one CPU worker for a drawn service time."""
+    def cpu_work(
+        self, median_s: float, span=NULL_SPAN, work_phase: str = PHASE_CPU
+    ) -> typing.Generator[typing.Any, typing.Any, float]:
+        """Process-style: occupy one CPU worker for a drawn service time.
+
+        When traced, the pool wait gets a ``queue``-phase span and the
+        service itself a ``work_phase`` span — callers whose CPU phase is
+        semantically distinct (placement scoring) pass their own phase so
+        attribution keeps the distinction.
+        """
         start = self.sim.now
         request = self.cpu.request()
+        wait_span = span.child("cpu.wait", phase=PHASE_QUEUE, tags={"wait": True})
         yield request
+        wait_span.finish()
         service = bounded(
             lognormal_from_median(self._cpu_rng, median_s, self.costs.sigma),
             median_s * 0.25,
             median_s * 10.0,
         )
+        work_span = span.child("cpu.work", phase=work_phase)
         try:
             yield self.sim.timeout(service)
         finally:
             self.cpu.release(request)
+            work_span.finish()
         self._cpu_busy += service
         return self.sim.now - start
 
@@ -202,11 +219,15 @@ class ManagementServer:
 
     # -- operation submission ------------------------------------------------------
 
-    def submit(self, operation: "Operation", priority: float = 5.0) -> Process:
+    def submit(
+        self, operation: "Operation", priority: float = 5.0, span=NULL_SPAN
+    ) -> Process:
         """Run an operation as a task; returns its process event.
 
         The process's value is the completed :class:`Task`; an operation
-        failure fails the process with the underlying exception.
+        failure fails the process with the underlying exception. A caller
+        with its own span (the cloud director's per-VM span) passes it so
+        the task's span tree joins the request trace.
         """
 
         def lifecycle() -> typing.Generator[typing.Any, typing.Any, Task]:
@@ -220,7 +241,7 @@ class ManagementServer:
                 yield from operation.run(self, task)
 
             yield from self.tasks.run_task(
-                operation.op_type.value, body, priority=priority
+                operation.op_type.value, body, priority=priority, parent_span=span
             )
             return holder["task"]
 

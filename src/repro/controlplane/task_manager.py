@@ -34,6 +34,13 @@ from repro.controlplane.resilience import (
     RetryPolicy,
     TaskDeadlineExceeded,
 )
+from repro.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    PHASE_QUEUE,
+    PHASE_RETRY,
+    PHASE_TASK,
+)
 
 
 class TaskState(enum.Enum):
@@ -63,6 +70,9 @@ class Task:
     phases: list[tuple[str, str, float]] = dataclasses.field(default_factory=list)
     # Operation-specific payload (e.g. the created VM for clones).
     result: typing.Any = None
+    # Current tracing span for the task's work (the root span outside
+    # attempts, the attempt span while a body runs; NULL_SPAN untraced).
+    span: typing.Any = NULL_SPAN
 
     @property
     def queue_wait(self) -> float:
@@ -95,11 +105,13 @@ class TaskManager:
         retry_budget: RetryBudget | None = None,
         task_deadline_s: float | None = None,
         rng: random.Random | None = None,
+        tracer=None,
     ) -> None:
         if task_deadline_s is not None and task_deadline_s <= 0:
             raise ValueError("task_deadline_s must be positive")
         self.sim = sim
         self.database = database
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dispatch = PriorityResource(sim, capacity=max_inflight, name="task-dispatch")
         self._type_limits: dict[str, PriorityResource] = {
             op_type: PriorityResource(sim, capacity=limit, name=f"limit:{op_type}")
@@ -123,6 +135,7 @@ class TaskManager:
         op_type: str,
         body: typing.Callable[[Task], typing.Generator],
         priority: float = 5.0,
+        parent_span=NULL_SPAN,
     ) -> typing.Generator[typing.Any, typing.Any, Task]:
         """Process-style: run ``body(task)`` under the task lifecycle.
 
@@ -130,6 +143,13 @@ class TaskManager:
         ``task.phases``. Transient failures are retried per the configured
         :class:`RetryPolicy`; terminal failures mark the task ERROR,
         record a dead letter, and re-raise.
+
+        With tracing enabled the task gets a root span (a child of
+        ``parent_span`` when the caller — e.g. the cloud director — is
+        itself traced), one ``attempt-N`` child per body execution, and
+        explicit dispatch-wait/backoff spans. ``task.span`` always points
+        at the span operation phases should attach to; after the task
+        finishes it is the (finished) root span.
         """
         self._next_id += 1
         task = Task(
@@ -141,12 +161,38 @@ class TaskManager:
         if self.task_deadline_s is not None:
             task.deadline = task.submitted_at + self.task_deadline_s
         self.tasks.append(task)
+        root_span = self.tracer.start_span(
+            f"task.{op_type}",
+            phase=PHASE_TASK,
+            parent=None if parent_span.is_null else parent_span,
+            tags={"task_id": task.task_id, "op_type": op_type},
+        )
+        task.span = root_span
+        try:
+            yield from self._run_task_traced(task, op_type, body, priority)
+        finally:
+            task.span = root_span
+            error_name = None
+            if task.state is TaskState.ERROR and task.error:
+                error_name = task.error.split(":", 1)[0]
+            root_span.annotate("attempts", task.attempts)
+            root_span.finish(error=error_name)
+        return task
+
+    def _run_task_traced(
+        self,
+        task: Task,
+        op_type: str,
+        body: typing.Callable[[Task], typing.Generator],
+        priority: float,
+    ) -> typing.Generator[typing.Any, typing.Any, Task]:
+        root_span = task.span
         # Task-row insert happens before dispatch: even rejected/queued work
         # costs the database. If the database itself is faulted the task
         # never existed as far as dispatch is concerned — fail it terminally
         # rather than stranding it QUEUED.
         try:
-            yield from self.database.write(rows=1)
+            yield from self.database.write(rows=1, span=root_span)
         except Exception as error:
             self._fail_terminally(task, error)
             self.metrics.counter("insert_failures").add()
@@ -160,12 +206,16 @@ class TaskManager:
         # are bounded by the task deadline: a request still queued at the
         # deadline is withdrawn and the task dead-lettered.
         granted: list[tuple[PriorityResource, typing.Any]] = []
+        wait_span = root_span.child(
+            "task.dispatch_wait", phase=PHASE_QUEUE, tags={"wait": True}
+        )
         try:
             type_pool = self._type_limits.get(op_type)
             if type_pool is not None:
                 yield from self._acquire(type_pool, priority, task, granted)
             yield from self._acquire(self.dispatch, priority, task, granted)
         except TaskDeadlineExceeded as error:
+            wait_span.finish(error=type(error).__name__)
             self._depth.add(-1)
             for pool, request in granted:
                 pool.release(request)
@@ -173,28 +223,44 @@ class TaskManager:
             self._fail_terminally(task, error)
             yield from self._finalize(task)
             raise
+        wait_span.finish()
         self._depth.add(-1)
         task.state = TaskState.RUNNING
         task.started_at = self.sim.now
         try:
             while True:
                 task.attempts += 1
+                attempt_span = root_span.child(
+                    f"attempt-{task.attempts}", phase=PHASE_TASK
+                )
+                task.span = attempt_span
                 try:
-                    yield from body(task)
-                except Exception as error:
-                    delay = self._retry_delay(task, error)
-                    if delay is None:
-                        task.state = TaskState.ERROR
-                        task.error = f"{type(error).__name__}: {error}"
-                        self._record_dead_letter(task, error)
-                        raise
-                    self.metrics.counter("retries").add()
-                    self.metrics.counter(f"retries.{op_type}").add()
-                    if delay > 0:
-                        yield self.sim.timeout(delay)
-                else:
-                    task.state = TaskState.SUCCESS
-                    break
+                    try:
+                        yield from body(task)
+                    except Exception as error:
+                        attempt_span.finish(error=type(error).__name__)
+                        delay = self._retry_delay(task, error)
+                        if delay is None:
+                            task.state = TaskState.ERROR
+                            task.error = f"{type(error).__name__}: {error}"
+                            self._record_dead_letter(task, error)
+                            raise
+                        self.metrics.counter("retries").add()
+                        self.metrics.counter(f"retries.{op_type}").add()
+                        if delay > 0:
+                            backoff_span = root_span.child(
+                                "task.backoff",
+                                phase=PHASE_RETRY,
+                                tags={"wait": True},
+                            )
+                            yield self.sim.timeout(delay)
+                            backoff_span.finish()
+                    else:
+                        attempt_span.finish()
+                        task.state = TaskState.SUCCESS
+                        break
+                finally:
+                    task.span = root_span
         finally:
             self.dispatch.release(granted[-1][1])
             for pool, request in granted[:-1]:
@@ -288,7 +354,7 @@ class TaskManager:
         # database must not turn a finished task's outcome into a new
         # exception — count and move on.
         try:
-            yield from self.database.write(rows=1)
+            yield from self.database.write(rows=1, span=task.span)
         except Exception:
             self.metrics.counter("completion_write_failures").add()
         self.metrics.counter(f"completed.{task.op_type}").add()

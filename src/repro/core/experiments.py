@@ -29,6 +29,7 @@ from repro.operations.provisioning import CloneVM, DeployFromTemplate
 from repro.operations.reconfiguration import AddHost, RescanDatastore
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
+from repro.tracing import NULL_TRACER, Tracer
 from repro.workloads.arrivals import MMPPBurst, Poisson
 from repro.workloads.lifetimes import CLASSIC_DC_LIFETIME, CLOUD_A_LIFETIME
 from repro.workloads.profiles import CLASSIC_DC, CLOUD_A, CLOUD_B
@@ -73,11 +74,17 @@ class StormRig:
         host_memory_gb: float = 128.0,
         costs: ControlPlaneCosts = DEFAULT_COSTS,
         config: ControlPlaneConfig | None = None,
+        traced: bool = False,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
+        self.tracer = Tracer(self.sim) if traced else NULL_TRACER
         self.server = ManagementServer(
-            self.sim, self.streams.spawn("server"), costs=costs, config=config
+            self.sim,
+            self.streams.spawn("server"),
+            costs=costs,
+            config=config,
+            tracer=self.tracer,
         )
         inventory = self.server.inventory
         self.datacenter = inventory.create(Datacenter, name="dc")
@@ -1023,6 +1030,91 @@ def experiment_x3_fault_goodput(seed: int = 0, quick: bool = False) -> Experimen
     )
 
 
+# --------------------------------------------------------------------------
+# R-F-phase — stacked per-phase provisioning-latency breakdown.
+# --------------------------------------------------------------------------
+
+# Raw span phases folded into the exhibit's stack. Gateway admission folds
+# into "queue" (both are waiting to be let in); the event-log flush folds
+# into "db" (both are database pressure); task/request/retry self time
+# (scheduling gaps, attempt framing, backoff) is "other".
+PHASE_FOLD: dict[str, str] = {
+    "queue": "queue",
+    "admission": "queue",
+    "placement": "placement",
+    "db": "db",
+    "eventlog": "db",
+    "agent": "agent",
+    "cpu": "cpu",
+    "lock": "lock",
+    "copy": "copy",
+    "task": "other",
+    "request": "other",
+    "retry": "other",
+}
+FOLDED_PHASES = ("queue", "placement", "db", "agent", "cpu", "lock", "copy", "other")
+
+
+def experiment_f_phase(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-F-phase: where each provisioning second goes, phase by phase.
+
+    Traced closed-loop clone storms swept over concurrency, full vs
+    linked clones. Every succeeded task's span tree is attributed
+    exclusively per phase (no double counting across nesting); each row
+    stacks the mean seconds per clone. This is the paper's thesis in
+    span form: as concurrency grows — and especially for linked clones,
+    which strip away the data plane — the control-plane trio
+    (queue + placement + db) grows to dominate provisioning latency.
+    """
+    from repro.analysis.spans import aggregate_phase_attribution
+
+    total = 24 if quick else 96
+    concurrencies = (1, 16) if quick else (1, 4, 16, 64)
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for linked in (False, True):
+        kind = "linked" if linked else "full"
+        for concurrency in concurrencies:
+            rig = StormRig(seed=seed, traced=True)
+            rig.closed_loop_storm(total=total, concurrency=concurrency, linked=linked)
+            roots = [task.span for task in rig.server.tasks.succeeded()]
+            count = len(roots)
+            attribution = aggregate_phase_attribution(roots)
+            folded = {name: 0.0 for name in FOLDED_PHASES}
+            for phase, seconds in attribution.items():
+                folded[PHASE_FOLD.get(phase, "other")] += seconds / count
+            wall = sum(folded.values())
+            trio = folded["queue"] + folded["placement"] + folded["db"]
+            trio_share = trio / wall if wall > 0 else 0.0
+            rows.append(
+                [
+                    kind,
+                    concurrency,
+                    *(f"{folded[name]:.2f}" for name in FOLDED_PHASES),
+                    f"{wall:.2f}",
+                    f"{trio_share * 100:.0f}",
+                ]
+            )
+            if linked:
+                for name in ("queue", "placement", "db", "agent"):
+                    series.setdefault(f"linked {name} share %", []).append(
+                        (float(concurrency), folded[name] / wall * 100.0 if wall else 0.0)
+                    )
+    return ExperimentResult(
+        exp_id="R-F-phase",
+        title="Per-phase provisioning latency vs concurrency",
+        headers=["mode", "conc", *FOLDED_PHASES, "wall s", "ctl trio %"],
+        rows=rows,
+        series=series,
+        notes=(
+            "Stacked mean seconds per clone from exclusive span attribution "
+            "(columns sum to wall). The control-plane trio (queue + "
+            "placement + db) grows with concurrency and comes to dominate "
+            "linked-clone provisioning at high concurrency."
+        ),
+    )
+
+
 EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-T1": experiment_t1_setups,
     "R-T2": experiment_t2_opmix,
@@ -1037,6 +1129,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-F8": experiment_f8_breakdown,
     "R-F9": experiment_f9_shards,
     "R-F10": experiment_f10_lifetimes,
+    "R-F-phase": experiment_f_phase,
     "R-X1": experiment_x1_restart_storm,
     "R-X2": experiment_x2_stats_tax,
     "R-X3": experiment_x3_fault_goodput,

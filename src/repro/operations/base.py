@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 import typing
 
+from repro.tracing.span import PHASE_TASK, Span
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
     from repro.controlplane.task_manager import Task
@@ -63,7 +65,8 @@ def phase(
     name: str,
     plane: str,
     sim_now: typing.Callable[[], float],
-    body: typing.Generator,
+    body: typing.Generator | typing.Callable[[Span], typing.Generator],
+    tag: str = PHASE_TASK,
 ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
     """Run a process-style ``body`` and attribute its wall time to a phase.
 
@@ -71,11 +74,24 @@ def phase(
 
         result = yield from phase(task, "validate", CONTROL, lambda: server.sim.now,
                                   server.cpu_work(costs.api_validate_s))
+
+    When tracing is on (``task.span`` is real) the phase also opens a
+    child span tagged ``tag`` and stamped with the plane. ``body`` may be
+    a callable taking that span — components accept it to hang their own
+    sub-spans (pool waits, per-call spans) off the phase.
     """
     if plane not in (CONTROL, DATA):
         raise ValueError(f"unknown plane {plane!r}")
+    span = task.span.child(name, phase=tag, tags={"plane": plane})
+    if callable(body):
+        body = body(span)
     start = sim_now()
-    result = yield from body
+    try:
+        result = yield from body
+    except BaseException as exc:
+        span.finish(error=type(exc).__name__)
+        raise
+    span.finish()
     task.phases.append((name, plane, sim_now() - start))
     return result
 
@@ -102,9 +118,10 @@ class Operation:
         task: "Task",
         name: str,
         plane: str,
-        body: typing.Generator,
+        body: typing.Generator | typing.Callable[[Span], typing.Generator],
+        tag: str = PHASE_TASK,
     ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
-        return (yield from phase(task, name, plane, lambda: server.sim.now, body))
+        return (yield from phase(task, name, plane, lambda: server.sim.now, body, tag=tag))
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.op_type.value}>"

@@ -12,6 +12,7 @@ import typing
 from repro.datacenter.vm import PowerState, VirtualMachine
 from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
 from repro.storage.linked_clone import merge_leaf_into_parent
+from repro.tracing import PHASE_AGENT, PHASE_COPY, PHASE_CPU, PHASE_DB, PHASE_LOCK
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
@@ -38,15 +39,27 @@ class ReconfigureVM(Operation):
         if self.vm.host is None:
             raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
             yield from self.timed(
-                server, task, "config_gen", CONTROL, server.cpu_work(costs.config_gen_s)
+                server,
+                task,
+                "config_gen",
+                CONTROL,
+                lambda span: server.cpu_work(costs.config_gen_s, span=span),
+                tag=PHASE_CPU,
             )
             agent = server.agent(self.vm.host)
             yield from self.timed(
@@ -54,14 +67,20 @@ class ReconfigureVM(Operation):
                 task,
                 "reconfigure",
                 CONTROL,
-                agent.call("reconfigure", costs.host_reconfigure_s),
+                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                tag=PHASE_AGENT,
             )
             if self.vcpus is not None:
                 self.vm.vcpus = self.vcpus
             if self.memory_gb is not None:
                 self.vm.memory_gb = self.memory_gb
             yield from self.timed(
-                server, task, "commit_db", CONTROL, server.database.write(rows=1)
+                server,
+                task,
+                "commit_db",
+                CONTROL,
+                lambda span: server.database.write(rows=1, span=span),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:
@@ -82,10 +101,17 @@ class CreateSnapshot(Operation):
         if self.vm.host is None:
             raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
@@ -95,11 +121,17 @@ class CreateSnapshot(Operation):
                 task,
                 "snapshot",
                 CONTROL,
-                agent.call("snapshot", costs.host_snapshot_s),
+                lambda span: agent.call("snapshot", costs.host_snapshot_s, span=span),
+                tag=PHASE_AGENT,
             )
             snapshot = self.vm.take_snapshot(self.snapshot_name)
             yield from self.timed(
-                server, task, "snapshot_db", CONTROL, server.database.write(rows=2)
+                server,
+                task,
+                "snapshot_db",
+                CONTROL,
+                lambda span: server.database.write(rows=2, span=span),
+                tag=PHASE_DB,
             )
             task.result = snapshot
         finally:
@@ -130,10 +162,17 @@ class DeleteSnapshot(Operation):
         if not self.vm.snapshots:
             raise OperationError(f"VM {self.vm.name!r} has no snapshots")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
@@ -156,9 +195,10 @@ class DeleteSnapshot(Operation):
                         task,
                         f"merge_copy_{index}",
                         DATA,
-                        server.copy_scheduler.scheduled_copy(
-                            disk.datastore, disk.datastore, moved_gb
+                        lambda span, ds=disk.datastore, gb=moved_gb: (
+                            server.copy_scheduler.scheduled_copy(ds, ds, gb, span=span)
                         ),
+                        tag=PHASE_COPY,
                     )
                     # The copy engine charges for a new file; a merge lands
                     # in the parent, whose growth merge_leaf_into_parent
@@ -170,11 +210,17 @@ class DeleteSnapshot(Operation):
                 task,
                 "consolidate_host",
                 CONTROL,
-                agent.call("reconfigure", costs.host_reconfigure_s),
+                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                tag=PHASE_AGENT,
             )
             self.vm.snapshots.pop()
             yield from self.timed(
-                server, task, "snapshot_db", CONTROL, server.database.write(rows=2)
+                server,
+                task,
+                "snapshot_db",
+                CONTROL,
+                lambda span: server.database.write(rows=2, span=span),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:
@@ -196,10 +242,17 @@ class DestroyVM(Operation):
         if self.vm.host is None:
             raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
@@ -211,7 +264,8 @@ class DestroyVM(Operation):
                 task,
                 "destroy_host",
                 CONTROL,
-                agent.call("destroy", costs.host_destroy_s),
+                lambda span: agent.call("destroy", costs.host_destroy_s, span=span),
+                tag=PHASE_AGENT,
             )
             # Reclaim only backings unique to this VM (children == 0 leaves);
             # shared linked-clone parents stay until their last child dies.
@@ -225,7 +279,12 @@ class DestroyVM(Operation):
             self.vm.destroyed_at = server.sim.now
             server.inventory.unregister(self.vm)
             yield from self.timed(
-                server, task, "unregister_db", CONTROL, server.database.write(rows=2)
+                server,
+                task,
+                "unregister_db",
+                CONTROL,
+                lambda span: server.database.write(rows=2, span=span),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:

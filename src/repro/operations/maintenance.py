@@ -15,6 +15,7 @@ from repro.datacenter.entities import Host, HostState
 from repro.datacenter.vm import PowerState
 from repro.operations.base import CONTROL, Operation, OperationError, OperationType
 from repro.operations.migration import MigrateVM
+from repro.tracing import PHASE_AGENT, PHASE_CPU, PHASE_DB
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
@@ -44,14 +45,21 @@ class EnterMaintenance(Operation):
         if self.host.vms and not usable_targets:
             raise OperationError(f"no evacuation target for {self.host.name!r}")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         victims = sorted(self.host.vms, key=lambda vm: vm.entity_id)
         migrations = []
         for index, vm in enumerate(victims):
             target = usable_targets[index % len(usable_targets)]
             if vm.power_state == PowerState.ON:
-                migrations.append(server.submit(MigrateVM(vm, target), priority=3.0))
+                migrations.append(
+                    server.submit(MigrateVM(vm, target), priority=3.0, span=task.span)
+                )
             else:
                 # Cold relocation: unregister/register, no data movement.
                 vm.place_on(target)
@@ -68,7 +76,12 @@ class EnterMaintenance(Operation):
             raise OperationError(f"host {self.host.name!r} still has VMs")
         self.host.state = HostState.MAINTENANCE
         yield from self.timed(
-            server, task, "fence_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "fence_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         task.result = self.host
 
@@ -107,7 +120,12 @@ class EvacuateDatastore(Operation):
         if not self.targets:
             raise OperationError("no target datastores for evacuation")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         residents = self._resident_vms(server)
         moved = 0
@@ -117,7 +135,9 @@ class EvacuateDatastore(Operation):
                 raise OperationError(
                     f"target {target.name!r} lacks space for {vm.name!r}"
                 )
-            process = server.submit(StorageMigrateVM(vm, target), priority=4.0)
+            process = server.submit(
+                StorageMigrateVM(vm, target), priority=4.0, span=task.span
+            )
             try:
                 yield process
             except Exception:
@@ -126,7 +146,12 @@ class EvacuateDatastore(Operation):
                 ) from None
             moved += 1
         yield from self.timed(
-            server, task, "retire_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "retire_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         task.result = moved
 
@@ -144,7 +169,12 @@ class ExitMaintenance(Operation):
         if self.host.state != HostState.MAINTENANCE:
             raise OperationError(f"host {self.host.name!r} is not in maintenance")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         agent = server.agent(self.host)
         self.host.state = HostState.CONNECTED
@@ -153,9 +183,15 @@ class ExitMaintenance(Operation):
             task,
             "reconnect",
             CONTROL,
-            agent.call("reconfigure", costs.host_reconfigure_s),
+            lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+            tag=PHASE_AGENT,
         )
         yield from self.timed(
-            server, task, "unfence_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "unfence_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         task.result = self.host

@@ -12,6 +12,13 @@ import typing
 from repro.datacenter.entities import Datastore, Host
 from repro.datacenter.vm import DiskBacking, PowerState, VirtualMachine
 from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
+from repro.tracing import (
+    PHASE_AGENT,
+    PHASE_COPY,
+    PHASE_CPU,
+    PHASE_DB,
+    PHASE_LOCK,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
@@ -45,26 +52,36 @@ class MigrateVM(Operation):
             )
 
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding(
             [self.vm.entity_id],
             read_ids=[source.entity_id, self.destination.entity_id],
         )
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
             if self.vm.power_state != PowerState.ON:
                 raise OperationError(f"VM {self.vm.name!r} powered off while queued")
             # Preparation handshake on both ends.
-            for tag, host in (("prep_source", source), ("prep_dest", self.destination)):
+            for name, host in (("prep_source", source), ("prep_dest", self.destination)):
                 yield from self.timed(
                     server,
                     task,
-                    tag,
+                    name,
                     CONTROL,
-                    server.agent(host).call("migrate_prep", costs.host_migrate_prep_s),
+                    lambda span, h=host: server.agent(h).call(
+                        "migrate_prep", costs.host_migrate_prep_s, span=span
+                    ),
+                    tag=PHASE_AGENT,
                 )
             # Memory pre-copy: guest memory over the vMotion network.
             memory_bytes = self.vm.memory_gb * 1024**3
@@ -74,6 +91,7 @@ class MigrateVM(Operation):
                 "memory_copy",
                 DATA,
                 _fixed_transfer(server, memory_bytes / costs.vmotion_bps),
+                tag=PHASE_COPY,
             )
             # Switchover + cleanup.
             yield from self.timed(
@@ -81,13 +99,19 @@ class MigrateVM(Operation):
                 task,
                 "switchover",
                 CONTROL,
-                server.agent(self.destination).call(
-                    "migrate_prep", costs.host_migrate_prep_s
+                lambda span: server.agent(self.destination).call(
+                    "migrate_prep", costs.host_migrate_prep_s, span=span
                 ),
+                tag=PHASE_AGENT,
             )
             self.vm.place_on(self.destination)
             yield from self.timed(
-                server, task, "commit_db", CONTROL, server.database.write(rows=2)
+                server,
+                task,
+                "commit_db",
+                CONTROL,
+                lambda span: server.database.write(rows=2, span=span),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:
@@ -108,10 +132,17 @@ class StorageMigrateVM(Operation):
         if self.vm.host is None:
             raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             if self.vm.host is None:
                 raise OperationError(f"VM {self.vm.name!r} was destroyed while queued")
@@ -121,7 +152,8 @@ class StorageMigrateVM(Operation):
                 task,
                 "prep",
                 CONTROL,
-                agent.call("migrate_prep", costs.host_migrate_prep_s),
+                lambda span: agent.call("migrate_prep", costs.host_migrate_prep_s, span=span),
+                tag=PHASE_AGENT,
             )
             for index, disk in enumerate(self.vm.disks):
                 if disk.datastore is self.destination:
@@ -134,9 +166,12 @@ class StorageMigrateVM(Operation):
                     task,
                     f"disk_copy_{index}",
                     DATA,
-                    server.copy_scheduler.scheduled_copy(
-                        disk.datastore, self.destination, size_gb
+                    lambda span, ds=disk.datastore, gb=size_gb: (
+                        server.copy_scheduler.scheduled_copy(
+                            ds, self.destination, gb, span=span
+                        )
                     ),
+                    tag=PHASE_COPY,
                 )
                 old = disk.backing
                 if old.parent is not None:
@@ -145,7 +180,14 @@ class StorageMigrateVM(Operation):
                     old.datastore.reclaim(old.size_gb)
                 disk.backing = DiskBacking(datastore=self.destination, size_gb=size_gb)
             yield from self.timed(
-                server, task, "commit_db", CONTROL, server.database.write(rows=1 + len(self.vm.disks))
+                server,
+                task,
+                "commit_db",
+                CONTROL,
+                lambda span: server.database.write(
+                    rows=1 + len(self.vm.disks), span=span
+                ),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:

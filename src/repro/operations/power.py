@@ -6,6 +6,7 @@ import typing
 
 from repro.datacenter.vm import PowerState, VirtualMachine
 from repro.operations.base import CONTROL, Operation, OperationError, OperationType
+from repro.tracing import PHASE_AGENT, PHASE_CPU, PHASE_DB, PHASE_LOCK
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
@@ -33,10 +34,17 @@ class _PowerOperation(Operation):
             raise OperationError(f"VM {self.vm.name!r} is not placed on a host")
         self._check()
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         scope = server.locks.holding([self.vm.entity_id])
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             # Revalidate under the lock: the VM may have been destroyed or
             # power-cycled by an operation that held the lock before us.
@@ -55,13 +63,21 @@ class _PowerOperation(Operation):
                     task,
                     self.host_call,
                     CONTROL,
-                    agent.call(self.host_call, self._host_median(server)),
+                    lambda span: agent.call(
+                        self.host_call, self._host_median(server), span=span
+                    ),
+                    tag=PHASE_AGENT,
                 )
             except BaseException:
                 self.vm.power_state = previous_state
                 raise
             yield from self.timed(
-                server, task, "state_db", CONTROL, server.database.write(rows=1)
+                server,
+                task,
+                "state_db",
+                CONTROL,
+                lambda span: server.database.write(rows=1, span=span),
+                tag=PHASE_DB,
             )
             task.result = self.vm
         finally:

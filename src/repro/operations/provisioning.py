@@ -19,6 +19,14 @@ import typing
 from repro.datacenter.entities import Datastore, Host
 from repro.datacenter.vm import PowerState, VirtualDisk, VirtualMachine
 from repro.operations.base import CONTROL, DATA, Operation, OperationError, OperationType
+from repro.tracing import (
+    PHASE_AGENT,
+    PHASE_COPY,
+    PHASE_CPU,
+    PHASE_DB,
+    PHASE_LOCK,
+    PHASE_PLACEMENT,
+)
 from repro.storage.linked_clone import (
     INITIAL_DELTA_GB,
     create_linked_backing,
@@ -59,7 +67,12 @@ class CloneVM(Operation):
             raise OperationError(f"target host {self.target_host.name!r} unusable")
 
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
 
         # Shared lock on the source: many clones of one template proceed
@@ -69,14 +82,28 @@ class CloneVM(Operation):
         scope = server.locks.holding(
             [], read_ids=[self.source.entity_id, self.target_host.entity_id]
         )
-        grants = yield from self.timed(server, task, "lock", CONTROL, scope.acquire())
+        grants = yield from self.timed(
+            server, task, "lock", CONTROL, scope.acquire(), tag=PHASE_LOCK
+        )
         try:
             # Placement scoring reads host/datastore stats rows.
             yield from self.timed(
-                server, task, "placement", CONTROL, server.cpu_work(costs.placement_s)
+                server,
+                task,
+                "placement",
+                CONTROL,
+                lambda span: server.cpu_work(
+                    costs.placement_s, span=span, work_phase=PHASE_PLACEMENT
+                ),
+                tag=PHASE_PLACEMENT,
             )
             yield from self.timed(
-                server, task, "placement_db", CONTROL, server.database.read(rows=2)
+                server,
+                task,
+                "placement_db",
+                CONTROL,
+                lambda span: server.database.read(rows=2, span=span),
+                tag=PHASE_PLACEMENT,
             )
 
             agent = server.agent(self.target_host)
@@ -92,14 +119,18 @@ class CloneVM(Operation):
                 task,
                 "register_vm",
                 CONTROL,
-                agent.call("register_vm", costs.host_register_vm_s),
+                lambda span: agent.call(
+                    "register_vm", costs.host_register_vm_s, span=span
+                ),
+                tag=PHASE_AGENT,
             )
             yield from self.timed(
                 server,
                 task,
                 "inventory_commit",
                 CONTROL,
-                server.database.write(rows=3 + len(vm.disks)),
+                lambda span: server.database.write(rows=3 + len(vm.disks), span=span),
+                tag=PHASE_DB,
             )
             vm.place_on(self.target_host)
 
@@ -109,15 +140,28 @@ class CloneVM(Operation):
                     task,
                     "power_on",
                     CONTROL,
-                    agent.call("power_on", costs.host_power_on_s),
+                    lambda span: agent.call(
+                        "power_on", costs.host_power_on_s, span=span
+                    ),
+                    tag=PHASE_AGENT,
                 )
                 vm.power_state = PowerState.ON
                 yield from self.timed(
-                    server, task, "power_on_db", CONTROL, server.database.write(rows=1)
+                    server,
+                    task,
+                    "power_on_db",
+                    CONTROL,
+                    lambda span: server.database.write(rows=1, span=span),
+                    tag=PHASE_DB,
                 )
 
             yield from self.timed(
-                server, task, "commit", CONTROL, server.cpu_work(costs.result_commit_s)
+                server,
+                task,
+                "commit",
+                CONTROL,
+                lambda span: server.cpu_work(costs.result_commit_s, span=span),
+                tag=PHASE_CPU,
             )
             task.result = vm
         finally:
@@ -139,10 +183,16 @@ class CloneVM(Operation):
                 task,
                 "anchor_snapshot",
                 CONTROL,
-                agent.call("snapshot", costs.host_snapshot_s),
+                lambda span: agent.call("snapshot", costs.host_snapshot_s, span=span),
+                tag=PHASE_AGENT,
             )
             yield from self.timed(
-                server, task, "anchor_db", CONTROL, server.database.write(rows=2)
+                server,
+                task,
+                "anchor_db",
+                CONTROL,
+                lambda span: server.database.write(rows=2, span=span),
+                tag=PHASE_DB,
             )
         anchors = ensure_clone_anchor(self.source)
         vm = self._new_vm(server)
@@ -152,7 +202,10 @@ class CloneVM(Operation):
                 task,
                 f"create_delta_{index}",
                 CONTROL,
-                agent.call("create_disk", costs.host_create_disk_s),
+                lambda span: agent.call(
+                    "create_disk", costs.host_create_disk_s, span=span
+                ),
+                tag=PHASE_AGENT,
             )
             # Delta creation moves no bytes, but it still needs the target
             # datastore's storage stack to accept the format metadata:
@@ -181,7 +234,10 @@ class CloneVM(Operation):
                 task,
                 f"create_disk_{index}",
                 CONTROL,
-                agent.call("create_disk", costs.host_create_disk_s),
+                lambda span: agent.call(
+                    "create_disk", costs.host_create_disk_s, span=span
+                ),
+                tag=PHASE_AGENT,
             )
             size_gb = disk.backing.logical_size_gb
             yield from self.timed(
@@ -189,9 +245,12 @@ class CloneVM(Operation):
                 task,
                 f"copy_disk_{index}",
                 DATA,
-                server.copy_scheduler.scheduled_copy(
-                    disk.datastore, self.target_datastore, size_gb
+                lambda span, size=size_gb, source_ds=disk.datastore: (
+                    server.copy_scheduler.scheduled_copy(
+                        source_ds, self.target_datastore, size, span=span
+                    )
                 ),
+                tag=PHASE_COPY,
             )
             from repro.datacenter.vm import DiskBacking
 
@@ -253,27 +312,46 @@ class DeployFromTemplate(Operation):
         vm = task.result
         agent = server.agent(self.target_host)
         yield from self.timed(
-            server, task, "customize_cpu", CONTROL, server.cpu_work(costs.config_gen_s)
+            server,
+            task,
+            "customize_cpu",
+            CONTROL,
+            lambda span: server.cpu_work(costs.config_gen_s, span=span),
+            tag=PHASE_CPU,
         )
         yield from self.timed(
             server,
             task,
             "customize_host",
             CONTROL,
-            agent.call("reconfigure", costs.host_reconfigure_s),
+            lambda span: agent.call(
+                "reconfigure", costs.host_reconfigure_s, span=span
+            ),
+            tag=PHASE_AGENT,
         )
         yield from self.timed(
-            server, task, "customize_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "customize_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         yield from self.timed(
             server,
             task,
             "power_on",
             CONTROL,
-            agent.call("power_on", costs.host_power_on_s),
+            lambda span: agent.call("power_on", costs.host_power_on_s, span=span),
+            tag=PHASE_AGENT,
         )
         vm.power_state = PowerState.ON
         yield from self.timed(
-            server, task, "power_on_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "power_on_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         task.result = vm

@@ -14,6 +14,7 @@ import typing
 from repro.datacenter.entities import Cluster, Datastore, Host, Network
 from repro.operations.base import CONTROL, Operation, OperationError, OperationType
 from repro.sim.events import AllOf
+from repro.tracing import PHASE_AGENT, PHASE_CPU, PHASE_DB
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.server import ManagementServer
@@ -50,21 +51,27 @@ class RescanDatastore(Operation):
         if not mounting:
             raise OperationError(f"datastore {self.datastore.name!r} has no hosts")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         yield from self.timed(
             server,
             task,
             "rescan_fanout",
             CONTROL,
-            _fan_out(
+            lambda span: _fan_out(
                 server,
                 [
-                    server.agent(host).call("rescan", costs.host_rescan_s)
+                    server.agent(host).call("rescan", costs.host_rescan_s, span=span)
                     for host in mounting
                     if host.is_usable
                 ],
             ),
+            tag=PHASE_AGENT,
         )
         # One storage-topology row per mount refreshed.
         yield from self.timed(
@@ -72,7 +79,8 @@ class RescanDatastore(Operation):
             task,
             "topology_db",
             CONTROL,
-            server.database.write(rows=max(1, len(mounting))),
+            lambda span: server.database.write(rows=max(1, len(mounting)), span=span),
+            tag=PHASE_DB,
         )
         task.result = len(mounting)
 
@@ -99,7 +107,12 @@ class AddHost(Operation):
         if self.host.entity_id in server.inventory:
             raise OperationError(f"host {self.host.name!r} already in inventory")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         agent = server.adopt_host(self.host)
         yield from self.timed(
@@ -107,12 +120,18 @@ class AddHost(Operation):
             task,
             "connect_handshake",
             CONTROL,
-            agent.call("add_connect", costs.host_add_connect_s),
+            lambda span: agent.call("add_connect", costs.host_add_connect_s, span=span),
+            tag=PHASE_AGENT,
         )
         server.inventory.register(self.host)
         self.cluster.add_host(self.host)
         yield from self.timed(
-            server, task, "inventory_db", CONTROL, server.database.write(rows=2)
+            server,
+            task,
+            "inventory_db",
+            CONTROL,
+            lambda span: server.database.write(rows=2, span=span),
+            tag=PHASE_DB,
         )
         # Mount and rescan every datastore the cluster shares — the phase
         # whose cost grows linearly with datastore count.
@@ -123,13 +142,14 @@ class AddHost(Operation):
             task,
             "initial_rescan",
             CONTROL,
-            _fan_out(
+            lambda span: _fan_out(
                 server,
                 [
-                    agent.call("rescan", costs.host_rescan_s)
+                    agent.call("rescan", costs.host_rescan_s, span=span)
                     for _ in self.mount_datastores
                 ],
             ),
+            tag=PHASE_AGENT,
         )
         if self.mount_datastores:
             yield from self.timed(
@@ -137,7 +157,10 @@ class AddHost(Operation):
                 task,
                 "mount_db",
                 CONTROL,
-                server.database.write(rows=len(self.mount_datastores)),
+                lambda span: server.database.write(
+                    rows=len(self.mount_datastores), span=span
+                ),
+                tag=PHASE_DB,
             )
         for network in self.networks:
             self.host.attach_network(network)
@@ -147,10 +170,16 @@ class AddHost(Operation):
                 task,
                 "network_config",
                 CONTROL,
-                agent.call("reconfigure", costs.host_reconfigure_s),
+                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                tag=PHASE_AGENT,
             )
         yield from self.timed(
-            server, task, "commit", CONTROL, server.cpu_work(costs.result_commit_s)
+            server,
+            task,
+            "commit",
+            CONTROL,
+            lambda span: server.cpu_work(costs.result_commit_s, span=span),
+            tag=PHASE_CPU,
         )
         task.result = self.host
 
@@ -174,12 +203,22 @@ class AddDatastore(Operation):
         if not self.hosts:
             raise OperationError("no hosts to mount the datastore on")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         if self.datastore.entity_id not in server.inventory:
             server.inventory.register(self.datastore)
         yield from self.timed(
-            server, task, "inventory_db", CONTROL, server.database.write(rows=1)
+            server,
+            task,
+            "inventory_db",
+            CONTROL,
+            lambda span: server.database.write(rows=1, span=span),
+            tag=PHASE_DB,
         )
         for host in self.hosts:
             host.mount(self.datastore)
@@ -188,17 +227,23 @@ class AddDatastore(Operation):
             task,
             "mount_rescan",
             CONTROL,
-            _fan_out(
+            lambda span: _fan_out(
                 server,
                 [
-                    server.agent(host).call("rescan", costs.host_rescan_s)
+                    server.agent(host).call("rescan", costs.host_rescan_s, span=span)
                     for host in self.hosts
                     if host.is_usable
                 ],
             ),
+            tag=PHASE_AGENT,
         )
         yield from self.timed(
-            server, task, "mount_db", CONTROL, server.database.write(rows=len(self.hosts))
+            server,
+            task,
+            "mount_db",
+            CONTROL,
+            lambda span: server.database.write(rows=len(self.hosts), span=span),
+            tag=PHASE_DB,
         )
         task.result = self.datastore
 
@@ -218,10 +263,20 @@ class NetworkReconfig(Operation):
         if not hosts:
             raise OperationError(f"cluster {self.cluster.name!r} has no usable hosts")
         yield from self.timed(
-            server, task, "validate", CONTROL, server.cpu_work(costs.api_validate_s)
+            server,
+            task,
+            "validate",
+            CONTROL,
+            lambda span: server.cpu_work(costs.api_validate_s, span=span),
+            tag=PHASE_CPU,
         )
         yield from self.timed(
-            server, task, "config_gen", CONTROL, server.cpu_work(costs.config_gen_s)
+            server,
+            task,
+            "config_gen",
+            CONTROL,
+            lambda span: server.cpu_work(costs.config_gen_s, span=span),
+            tag=PHASE_CPU,
         )
         for host in hosts:
             host.attach_network(self.network)
@@ -230,15 +285,23 @@ class NetworkReconfig(Operation):
             task,
             "push_fanout",
             CONTROL,
-            _fan_out(
+            lambda span: _fan_out(
                 server,
                 [
-                    server.agent(host).call("reconfigure", costs.host_reconfigure_s)
+                    server.agent(host).call(
+                        "reconfigure", costs.host_reconfigure_s, span=span
+                    )
                     for host in hosts
                 ],
             ),
+            tag=PHASE_AGENT,
         )
         yield from self.timed(
-            server, task, "commit_db", CONTROL, server.database.write(rows=len(hosts))
+            server,
+            task,
+            "commit_db",
+            CONTROL,
+            lambda span: server.database.write(rows=len(hosts), span=span),
+            tag=PHASE_DB,
         )
         task.result = self.network

@@ -22,8 +22,10 @@ class Counter:
         self.value = 0.0
 
     def add(self, amount: float = 1.0) -> None:
+        if not math.isfinite(amount):
+            raise ValueError(f"counter {self.name!r} increment must be finite, got {amount!r}")
         if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease")
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount!r})")
         self.value += amount
 
 
@@ -49,12 +51,16 @@ class Gauge:
         self._stamp = now
 
     def set(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"gauge {self.name!r} level must be finite, got {value!r}")
         self._settle()
         self.value = value
         self.maximum = max(self.maximum, value)
         self._samples.append((self.sim.now, value))
 
     def add(self, delta: float) -> None:
+        if not math.isfinite(delta):
+            raise ValueError(f"gauge {self.name!r} delta must be finite, got {delta!r}")
         self.set(self.value + delta)
 
     def time_average(self, since: float = 0.0) -> float:
@@ -90,8 +96,13 @@ class LatencyRecorder:
         self._sum = 0.0
 
     def record(self, duration: float) -> None:
+        # NaN compares false against everything, so a plain `< 0` check
+        # would let it through — and one NaN silently corrupts the sorted
+        # sample invariant every later percentile depends on.
+        if not math.isfinite(duration):
+            raise ValueError(f"duration on {self.name!r} must be finite, got {duration!r}")
         if duration < 0:
-            raise ValueError(f"negative duration on {self.name!r}")
+            raise ValueError(f"negative duration on {self.name!r}: {duration!r}")
         bisect.insort(self._sorted, duration)
         self._sum += duration
 

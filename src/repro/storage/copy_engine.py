@@ -17,6 +17,7 @@ from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Simulator
 from repro.sim.stats import MetricsRegistry
 from repro.storage.bandwidth import FairShareLink
+from repro.tracing import NULL_SPAN, PHASE_COPY
 
 GB = 1024.0**3
 
@@ -65,6 +66,7 @@ class CopyEngine:
         source: Datastore,
         destination: Datastore,
         size_gb: float,
+        span=NULL_SPAN,
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: copy ``size_gb`` and return the elapsed seconds.
 
@@ -74,12 +76,19 @@ class CopyEngine:
         # Keyed by destination: a datastore outage fails copies *into* it.
         self.faults.fire(key=destination.entity_id)
         start = self.sim.now
+        transfer_span = span.child(
+            "copy.transfer",
+            phase=PHASE_COPY,
+            tags={"size_gb": size_gb, "destination": destination.name},
+        )
         destination.allocate(size_gb)
         try:
             yield self.link_for(destination).transfer(size_gb * GB)
-        except BaseException:
+        except BaseException as exc:
             destination.reclaim(size_gb)
+            transfer_span.finish(error=type(exc).__name__)
             raise
+        transfer_span.finish()
         elapsed = self.sim.now - start
         self.metrics.counter("bytes_written").add(size_gb * GB)
         self.metrics.counter("bytes_read").add(size_gb * GB)

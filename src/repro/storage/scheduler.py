@@ -16,6 +16,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
 from repro.sim.stats import MetricsRegistry
 from repro.storage.copy_engine import CopyEngine
+from repro.tracing import NULL_SPAN, PHASE_COPY
 
 # Default per-datastore concurrent-copy cap, matching the era's
 # vCenter/VAAI guidance of a handful of simultaneous clone streams.
@@ -57,19 +58,26 @@ class CopyScheduler:
         source: Datastore,
         destination: Datastore,
         size_gb: float,
+        span=NULL_SPAN,
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: wait for a destination slot, then copy.
 
         Returns total elapsed seconds including queueing. Queue wait is
         recorded separately so the bottleneck analysis can attribute it.
+        The slot wait is traced under the ``copy`` phase (it is data-plane
+        backpressure, not control-plane queueing) with a ``wait`` tag.
         """
         start = self.sim.now
         pool = self._pool(destination)
         request = pool.request()
+        wait_span = span.child(
+            "copy.slot_wait", phase=PHASE_COPY, tags={"wait": True}
+        )
         yield request
+        wait_span.finish()
         self.metrics.latency("queue_wait").record(self.sim.now - start)
         try:
-            yield from self.engine.copy(source, destination, size_gb)
+            yield from self.engine.copy(source, destination, size_gb, span=span)
         finally:
             pool.release(request)
         total = self.sim.now - start

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -38,17 +39,40 @@ class TraceRecord:
 
     @classmethod
     def from_task(cls, task: "Task", org: str = "") -> "TraceRecord":
-        """Convert a completed control-plane task into a trace record."""
+        """Convert a completed control-plane task into a trace record.
+
+        When the task carries a real (finished) span tree, the plane
+        seconds come from the spans and are cross-checked against the
+        task's own phase accounting — the two are maintained by different
+        code paths, so drift means an instrumentation bug.
+        """
         if task.finished_at is None or task.started_at is None:
             raise ValueError(f"task {task.task_id} has not finished")
+        control_s = task.plane_seconds("control")
+        data_s = task.plane_seconds("data")
+        span = task.span
+        if not span.is_null and span.finished:
+            from repro.tracing import plane_seconds_from_span
+
+            for plane, task_value in (("control", control_s), ("data", data_s)):
+                span_value = plane_seconds_from_span(span, plane)
+                if not math.isclose(
+                    span_value, task_value, rel_tol=1e-6, abs_tol=1e-9
+                ):
+                    raise ValueError(
+                        f"task {task.task_id} {plane}-plane drift: spans say "
+                        f"{span_value:.9f}s, task phases say {task_value:.9f}s"
+                    )
+            control_s = plane_seconds_from_span(span, "control")
+            data_s = plane_seconds_from_span(span, "data")
         return cls(
             op_type=task.op_type,
             submitted_at=task.submitted_at,
             started_at=task.started_at,
             finished_at=task.finished_at,
             success=task.state.value == "success",
-            control_s=task.plane_seconds("control"),
-            data_s=task.plane_seconds("data"),
+            control_s=control_s,
+            data_s=data_s,
             org=org,
             task_id=task.task_id,
             error=task.error or "",

@@ -1,0 +1,83 @@
+"""Causal, span-based tracing for the management control plane.
+
+The subsystem answers the question the whole-operation
+:class:`~repro.traces.records.TraceRecord` cannot: *which control-plane
+phase* — gateway admission, placement, task-queue wait, host-agent
+execution, DB/event-log writes, storage copy — dominates an operation's
+latency as concurrency rises.
+
+Pieces:
+
+- :mod:`repro.tracing.span` — :class:`Span`/:class:`SpanContext`
+  primitives on simulated time, the phase taxonomy, and the zero-cost
+  :data:`NULL_SPAN`;
+- :mod:`repro.tracing.tracer` — the :class:`Tracer` registry (and its
+  disabled twin :data:`NULL_TRACER`);
+- :mod:`repro.tracing.export` — Chrome trace-event JSON and JSONL dumps;
+- :mod:`repro.analysis.spans` — per-phase attribution,
+  queueing-vs-service decomposition, and critical-path extraction over
+  span trees.
+
+See ``docs/tracing.md`` for the instrumentation map and how to open an
+export in ``chrome://tracing``.
+"""
+
+from repro.tracing.export import (
+    chrome_trace_events,
+    read_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.tracing.span import (
+    DATA_PHASES,
+    NULL_SPAN,
+    PHASE_ADMISSION,
+    PHASE_AGENT,
+    PHASE_COPY,
+    PHASE_CPU,
+    PHASE_DB,
+    PHASE_EVENTLOG,
+    PHASE_LOCK,
+    PHASE_PLACEMENT,
+    PHASE_QUEUE,
+    PHASE_REQUEST,
+    PHASE_RETRY,
+    PHASE_TASK,
+    PHASES,
+    Span,
+    SpanContext,
+)
+from repro.tracing.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    plane_seconds_from_span,
+)
+
+__all__ = [
+    "DATA_PHASES",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASE_ADMISSION",
+    "PHASE_AGENT",
+    "PHASE_COPY",
+    "PHASE_CPU",
+    "PHASE_DB",
+    "PHASE_EVENTLOG",
+    "PHASE_LOCK",
+    "PHASE_PLACEMENT",
+    "PHASE_QUEUE",
+    "PHASE_REQUEST",
+    "PHASE_RETRY",
+    "PHASE_TASK",
+    "PHASES",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace_events",
+    "plane_seconds_from_span",
+    "read_spans_jsonl",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,89 @@
+"""Span export: Chrome trace-event JSON and JSONL dumps.
+
+``chrome://tracing`` (or https://ui.perfetto.dev) loads the trace-event
+format directly: each finished span becomes one complete ("X") event,
+grouped one trace per track so a task's span tree renders as a nested
+flame. JSONL is the machine-readable dump for offline analysis and
+round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.tracing.span import Span
+
+# Simulated seconds -> trace-event microseconds.
+_US = 1_000_000.0
+
+
+def chrome_trace_events(spans: typing.Iterable[Span]) -> list[dict[str, typing.Any]]:
+    """Finished spans as Chrome trace-event dicts (unfinished are skipped)."""
+    events: list[dict[str, typing.Any]] = []
+    for span in spans:
+        if not span.finished:
+            continue
+        context = span.context
+        args: dict[str, typing.Any] = {
+            "span_id": context.span_id,
+            "parent_id": context.parent_id,
+        }
+        args.update(span.tags)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.phase,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": (span.end - span.start) * _US,
+                "pid": 1,
+                "tid": context.trace_id,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: (event["tid"], event["ts"], -event["dur"]))
+    return events
+
+
+def write_chrome_trace(
+    spans: typing.Iterable[Span], path: str | pathlib.Path
+) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns event count."""
+    events = chrome_trace_events(spans)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(events)
+
+
+def write_spans_jsonl(
+    spans: typing.Iterable[Span], path: str | pathlib.Path
+) -> int:
+    """One span dict per line (finished spans only); returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        for span in spans:
+            if not span.finished:
+                continue
+            handle.write(json.dumps(span.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path: str | pathlib.Path) -> list[dict[str, typing.Any]]:
+    """Read a JSONL span dump back as plain dicts (schema of Span.to_dict)."""
+    required = {"trace_id", "span_id", "parent_id", "name", "phase", "start", "end", "tags"}
+    records: list[dict[str, typing.Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            missing = required - set(payload)
+            if missing:
+                raise ValueError(f"span record missing fields: {sorted(missing)}")
+            records.append(payload)
+    return records

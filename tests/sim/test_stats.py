@@ -14,8 +14,40 @@ def test_counter_accumulates():
 
 def test_counter_rejects_decrease():
     counter = Counter("ops")
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="cannot decrease"):
         counter.add(-1)
+
+
+def test_counter_rejects_non_finite():
+    counter = Counter("ops")
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="must be finite"):
+            counter.add(bad)
+    assert counter.value == 0.0
+
+
+def test_gauge_rejects_non_finite():
+    sim = Simulator()
+    gauge = Gauge(sim, "depth")
+    gauge.set(3.0)
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="must be finite"):
+            gauge.set(bad)
+        with pytest.raises(ValueError, match="must be finite"):
+            gauge.add(bad)
+    assert gauge.value == 3.0
+    assert gauge.series() == [(0.0, 0.0), (0.0, 3.0)]
+
+
+def test_latency_rejects_non_finite():
+    recorder = LatencyRecorder("lat")
+    recorder.record(1.0)
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="must be finite"):
+            recorder.record(bad)
+    # A rejected sample must not corrupt the sorted invariant or the sum.
+    assert recorder.count == 1
+    assert recorder.mean == 1.0
 
 
 def test_gauge_time_average():
