@@ -5,7 +5,7 @@ use pytest-benchmark's repeated rounds to measure the DES kernel's raw
 speed — the quantity that bounds how large a datacenter we can simulate.
 """
 
-from repro.sim import Resource, Simulator
+from repro.sim import AllOf, Event, Resource, Simulator
 from repro.storage import FairShareLink
 
 
@@ -72,3 +72,69 @@ def test_fair_share_reschedule_cost(benchmark):
     """500 overlapping transfers forcing continual rate recomputation."""
     result = benchmark(run_fair_share_churn, 500)
     assert result == 500
+
+
+def run_spawn_churn(waves, width):
+    """Process churn: waves of short-lived children joined by a driver.
+
+    Exercises the spawn bootstrap, process-end events, and the
+    yield-of-a-finished-process (same-tick resume) path.
+    """
+    sim = Simulator()
+    completed = []
+
+    def child(index):
+        yield sim.timeout(1.0 + (index % 3))
+        return index
+
+    def driver():
+        for wave in range(waves):
+            children = [sim.spawn(child(i)) for i in range(width)]
+            yield AllOf(sim, children)
+            # Joining a finished process hits the same-tick resume queue.
+            completed.append((yield children[-1]))
+
+    sim.spawn(driver())
+    sim.run()
+    return len(completed)
+
+
+def test_spawn_churn_throughput(benchmark):
+    """400 waves x 12 short-lived processes: spawn/finish/join churn."""
+    result = benchmark(run_spawn_churn, 400, 12)
+    assert result == 400
+
+
+def run_cancel_storm(cycles):
+    """FairShareLink-style cancel/reschedule storm on the raw kernel.
+
+    Each cycle cancels the armed completion timer and arms a fresh one —
+    exactly what a fair-share link does on every membership change. Returns
+    the peak heap size, which heap hygiene must keep bounded.
+    """
+    sim = Simulator()
+    peak = 0
+
+    def driver():
+        nonlocal peak
+        timer = None
+        for _ in range(cycles):
+            if timer is not None:
+                timer.cancel()
+            timer = Event(sim, name="completion")
+            timer.succeed(delay=1000.0)
+            if sim.heap_size > peak:
+                peak = sim.heap_size
+            yield sim.timeout(0.01)
+
+    sim.spawn(driver())
+    sim.run()
+    return peak
+
+
+def test_cancel_storm_heap_bounded(benchmark):
+    """20k cancel/rearm cycles; the heap must stay compact throughout."""
+    peak = benchmark(run_cancel_storm, 20_000)
+    # Without hygiene the heap grows to ~cycles entries; with it, the dead
+    # never outnumber the live by more than the compaction threshold.
+    assert peak < 200

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Prove parallel sweeps change nothing: serial vs parallel exhibit diff.
+
+Runs every sweep-shaped experiment (``PARALLEL_EXPERIMENTS``) twice at the
+same seed — once serial, once across worker processes — and fails if any
+rendered exhibit differs by a single byte. This is the CI leg backing the
+determinism contract in docs/performance.md: one cell = one simulator =
+one seed, so process pooling must be unobservable in the results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_parallel_equality.py
+    PYTHONPATH=src python benchmarks/check_parallel_equality.py --parallel 4 --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+
+from repro.core.experiments import PARALLEL_EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--parallel", type=int, default=2, metavar="N")
+    parser.add_argument(
+        "--full", action="store_true", help="full exhibit sizes (default: quick)"
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    for exp_id in sorted(PARALLEL_EXPERIMENTS):
+        serial = run_experiment(exp_id, seed=args.seed, quick=not args.full).render()
+        parallel = run_experiment(
+            exp_id, seed=args.seed, quick=not args.full, parallel=args.parallel
+        ).render()
+        if serial == parallel:
+            print(f"{exp_id:<10} OK   serial == parallel({args.parallel})")
+        else:
+            failures.append(exp_id)
+            print(f"{exp_id:<10} FAIL exhibits differ:")
+            diff = difflib.unified_diff(
+                serial.splitlines(), parallel.splitlines(),
+                fromfile=f"{exp_id} serial", tofile=f"{exp_id} parallel",
+                lineterm="",
+            )
+            for line in diff:
+                print(f"    {line}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} experiment(s) not parallel-deterministic: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: {len(PARALLEL_EXPERIMENTS)} experiments identical at parallel={args.parallel}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument("exp_id", choices=sorted(EXPERIMENTS))
     experiment_cmd.add_argument("--seed", type=int, default=0)
     experiment_cmd.add_argument("--quick", action="store_true")
+    experiment_cmd.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent sweep cells across N worker processes "
+        "(0 = one per CPU; default: REPRO_BENCH_PARALLEL or serial)",
+    )
 
     storm_cmd = sub.add_parser("storm", help="one clone storm")
     storm_cmd.add_argument("--clones", type=int, default=64)
@@ -113,7 +121,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.exp_id, seed=args.seed, quick=args.quick)
+    try:
+        result = run_experiment(
+            args.exp_id, seed=args.seed, quick=args.quick, parallel=args.parallel
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(result.render())
     return 0
 

@@ -9,7 +9,13 @@ Start here::
     print(result.report())
 """
 
-from repro.core.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.core.experiments import (
+    EXPERIMENTS,
+    PARALLEL_EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.parallel import derive_seed, resolve_parallelism, run_cells
 from repro.core.profiler import CloudManagementProfiler, ProfileResult
 from repro.core.scenario import Scenario, ScenarioResult
 from repro.core.sensitivity import sweep
@@ -18,9 +24,13 @@ __all__ = [
     "CloudManagementProfiler",
     "EXPERIMENTS",
     "ExperimentResult",
+    "PARALLEL_EXPERIMENTS",
     "ProfileResult",
     "Scenario",
     "ScenarioResult",
+    "derive_seed",
+    "resolve_parallelism",
+    "run_cells",
     "run_experiment",
     "sweep",
 ]

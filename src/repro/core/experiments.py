@@ -22,6 +22,7 @@ from repro.analysis.timeseries import arrival_rate_series, peak_to_trough
 from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
 from repro.controlplane.server import ManagementServer
 from repro.controlplane.shard import ShardedControlPlane
+from repro.core.parallel import run_cells
 from repro.core.scenario import Scenario
 from repro.datacenter.entities import Cluster, Datacenter, Datastore, Host, Network
 from repro.datacenter.templates import DEFAULT_SPECS, MEDIUM_LINUX, TemplateLibrary
@@ -310,27 +311,39 @@ def experiment_f2_latency_cdf(seed: int = 0, quick: bool = False) -> ExperimentR
 # --------------------------------------------------------------------------
 
 
-def experiment_f3_throughput(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _f3_cell(cell: tuple[int, int, int, bool]) -> dict[str, float]:
+    """One R-F3 sweep cell: its own rig, seed, and storm."""
+    seed, total, concurrency, linked = cell
+    rig = StormRig(seed=seed, hosts=16, datastores=4)
+    return rig.closed_loop_storm(total, concurrency, linked)
+
+
+def experiment_f3_throughput(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-F3 (headline): clone throughput vs offered concurrency."""
     concurrencies = (1, 4, 16, 64) if quick else (1, 2, 4, 8, 16, 32, 64, 128)
     total = 48 if quick else 128
+    cells = [
+        (seed, total, concurrency, linked)
+        for linked in (True, False)
+        for concurrency in concurrencies
+    ]
+    outcomes = run_cells(_f3_cell, cells, parallel=parallel)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {"linked": [], "full": []}
-    for linked in (True, False):
+    for (cell_seed, cell_total, concurrency, linked), outcome in zip(cells, outcomes):
         label = "linked" if linked else "full"
-        for concurrency in concurrencies:
-            rig = StormRig(seed=seed, hosts=16, datastores=4)
-            outcome = rig.closed_loop_storm(total, concurrency, linked)
-            rows.append(
-                [
-                    label,
-                    concurrency,
-                    f"{outcome['throughput_per_hour']:.0f}",
-                    f"{outcome['latency_p50']:.1f}",
-                    f"{outcome['bytes_written_gb']:.0f}",
-                ]
-            )
-            series[label].append((concurrency, outcome["throughput_per_hour"]))
+        rows.append(
+            [
+                label,
+                concurrency,
+                f"{outcome['throughput_per_hour']:.0f}",
+                f"{outcome['latency_p50']:.1f}",
+                f"{outcome['bytes_written_gb']:.0f}",
+            ]
+        )
+        series[label].append((concurrency, outcome["throughput_per_hour"]))
     return ExperimentResult(
         exp_id="R-F3",
         title="Provisioning throughput vs concurrency",
@@ -383,47 +396,65 @@ def experiment_f4_bandwidth(seed: int = 0, quick: bool = False) -> ExperimentRes
 # --------------------------------------------------------------------------
 
 
-def experiment_f5_cp_load(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _f5_cell(cell: tuple[int, float, float]) -> dict[str, typing.Any]:
+    """One R-F5 sweep cell: an open-loop storm at one arrival rate."""
+    seed, rate, duration = cell
+    rig = StormRig(seed=seed, hosts=16, datastores=4)
+    arrivals = Poisson(rate=rate)
+    rng = rig.streams.stream("arrivals")
+
+    def open_loop() -> typing.Generator:
+        index = 0
+        while rig.sim.now < duration:
+            next_time = arrivals.next_arrival(rig.sim.now, rng)
+            if next_time >= duration:
+                return
+            yield rig.sim.timeout(next_time - rig.sim.now)
+            rig.server.submit(rig.clone_op(index, linked=True))
+            index += 1
+
+    rig.sim.spawn(open_loop(), name="open-loop")
+    rig.sim.run(until=duration)
+    rig.sim.run()  # drain
+    snapshot = rig.server.utilization_snapshot()
+    done = rig.server.tasks.succeeded()
+    latencies = sorted(task.latency for task in done) or [0.0]
+    return {
+        "done": len(done),
+        "cpu": snapshot["cpu"],
+        "db": snapshot["db"],
+        "hostd_mean": snapshot["hostd_mean"],
+        "p50": latencies[len(latencies) // 2],
+        "bottleneck": rig.server.bottleneck(),
+    }
+
+
+def experiment_f5_cp_load(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-F5: which resource saturates as linked-clone deploy rate rises."""
     rates = (0.25, 1.0, 4.0) if quick else (0.25, 0.5, 1.0, 2.0, 3.0, 4.0)
     duration = 1200.0 if quick else 1800.0
     rows = []
     series = {"cpu": [], "db": [], "hostd": []}
-    for rate in rates:
-        rig = StormRig(seed=seed, hosts=16, datastores=4)
-        arrivals = Poisson(rate=rate)
-        rng = rig.streams.stream("arrivals")
-
-        def open_loop() -> typing.Generator:
-            index = 0
-            while rig.sim.now < duration:
-                next_time = arrivals.next_arrival(rig.sim.now, rng)
-                if next_time >= duration:
-                    return
-                yield rig.sim.timeout(next_time - rig.sim.now)
-                process = rig.server.submit(rig.clone_op(index, linked=True))
-                index += 1
-
-        rig.sim.spawn(open_loop(), name="open-loop")
-        rig.sim.run(until=duration)
-        rig.sim.run()  # drain
-        snapshot = rig.server.utilization_snapshot()
-        done = rig.server.tasks.succeeded()
-        latencies = sorted(task.latency for task in done) or [0.0]
+    outcomes = run_cells(
+        _f5_cell, [(seed, rate, duration) for rate in rates], parallel=parallel
+    )
+    for rate, outcome in zip(rates, outcomes):
         rows.append(
             [
                 f"{rate:.2f}",
-                len(done),
-                f"{snapshot['cpu']:.2f}",
-                f"{snapshot['db']:.2f}",
-                f"{snapshot['hostd_mean']:.2f}",
-                f"{latencies[len(latencies) // 2]:.1f}",
-                rig.server.bottleneck(),
+                outcome["done"],
+                f"{outcome['cpu']:.2f}",
+                f"{outcome['db']:.2f}",
+                f"{outcome['hostd_mean']:.2f}",
+                f"{outcome['p50']:.1f}",
+                outcome["bottleneck"],
             ]
         )
-        series["cpu"].append((rate, snapshot["cpu"]))
-        series["db"].append((rate, snapshot["db"]))
-        series["hostd"].append((rate, snapshot["hostd_mean"]))
+        series["cpu"].append((rate, outcome["cpu"]))
+        series["db"].append((rate, outcome["db"]))
+        series["hostd"].append((rate, outcome["hostd_mean"]))
     return ExperimentResult(
         exp_id="R-F5",
         title="Control-plane utilization vs linked-clone deploy rate",
@@ -439,34 +470,45 @@ def experiment_f5_cp_load(seed: int = 0, quick: bool = False) -> ExperimentResul
 # --------------------------------------------------------------------------
 
 
-def experiment_f6_reconfig_scale(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _f6_cell(cell: tuple[int, int, int]) -> tuple[float, float]:
+    """One R-F6 sweep cell: rescan + add-host latency at one inventory size."""
+    seed, host_count, datastore_count = cell
+    rig = StormRig(seed=seed, hosts=host_count, datastores=datastore_count)
+    process = rig.server.submit(RescanDatastore(rig.datastores[0]))
+    rescan_task = rig.sim.run(until=process)
+    new_host = Host(entity_id="host-new", name="esx-new")
+    process = rig.server.submit(
+        AddHost(new_host, rig.cluster, rig.datastores, networks=[rig.network])
+    )
+    addhost_task = rig.sim.run(until=process)
+    return rescan_task.latency, addhost_task.latency
+
+
+def experiment_f6_reconfig_scale(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-F6: rescan and add-host latency as the inventory grows."""
     host_counts = (8, 32) if quick else (8, 16, 32, 64, 128)
     datastore_count = 8
     rows = []
     rescan_series = []
     addhost_series = []
-    for host_count in host_counts:
-        rig = StormRig(
-            seed=seed, hosts=host_count, datastores=datastore_count
-        )
-        process = rig.server.submit(RescanDatastore(rig.datastores[0]))
-        rescan_task = rig.sim.run(until=process)
-        new_host = Host(entity_id="host-new", name="esx-new")
-        process = rig.server.submit(
-            AddHost(new_host, rig.cluster, rig.datastores, networks=[rig.network])
-        )
-        addhost_task = rig.sim.run(until=process)
+    outcomes = run_cells(
+        _f6_cell,
+        [(seed, host_count, datastore_count) for host_count in host_counts],
+        parallel=parallel,
+    )
+    for host_count, (rescan_latency, addhost_latency) in zip(host_counts, outcomes):
         rows.append(
             [
                 host_count,
                 datastore_count,
-                f"{rescan_task.latency:.1f}",
-                f"{addhost_task.latency:.1f}",
+                f"{rescan_latency:.1f}",
+                f"{addhost_latency:.1f}",
             ]
         )
-        rescan_series.append((host_count, rescan_task.latency))
-        addhost_series.append((host_count, addhost_task.latency))
+        rescan_series.append((host_count, rescan_latency))
+        addhost_series.append((host_count, addhost_latency))
     return ExperimentResult(
         exp_id="R-F6",
         title="Reconfiguration cost vs inventory scale",
@@ -580,7 +622,18 @@ def experiment_f8_breakdown(seed: int = 0, quick: bool = False) -> ExperimentRes
 # --------------------------------------------------------------------------
 
 
-def experiment_t3_ablations(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _t3_cell(
+    cell: tuple[int, int, int, ControlPlaneConfig]
+) -> dict[str, float]:
+    """One R-T3 ablation cell: a storm under one config variant."""
+    seed, total, concurrency, config = cell
+    rig = StormRig(seed=seed, hosts=16, datastores=4, config=config)
+    return rig.closed_loop_storm(total, concurrency, linked=True)
+
+
+def experiment_t3_ablations(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-T3: which control-plane design knobs actually buy throughput."""
     total = 48 if quick else 128
     concurrency = 32
@@ -593,11 +646,14 @@ def experiment_t3_ablations(seed: int = 0, quick: bool = False) -> ExperimentRes
         ("2x copy slots", ControlPlaneConfig(copy_slots_per_datastore=8)),
         ("coarse locks", ControlPlaneConfig(lock_granularity="coarse")),
     ]
+    outcomes = run_cells(
+        _t3_cell,
+        [(seed, total, concurrency, config) for _label, config in variants],
+        parallel=parallel,
+    )
     rows = []
     baseline_tph = None
-    for label, config in variants:
-        rig = StormRig(seed=seed, hosts=16, datastores=4, config=config)
-        outcome = rig.closed_loop_storm(total, concurrency, linked=True)
+    for (label, _config), outcome in zip(variants, outcomes):
         tph = outcome["throughput_per_hour"]
         if baseline_tph is None:
             baseline_tph = tph
@@ -626,42 +682,55 @@ def experiment_t3_ablations(seed: int = 0, quick: bool = False) -> ExperimentRes
 # --------------------------------------------------------------------------
 
 
-def experiment_f9_shards(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _f9_cell(cell: tuple[int, int, int, int]) -> tuple[int, float]:
+    """One R-F9 sweep cell: a clone storm at one shard count."""
+    seed, shard_count, total_hosts, clones = cell
+    sim = Simulator()
+    plane = ShardedControlPlane(sim, RandomStreams(seed), shard_count=shard_count)
+    hosts = []
+    shard_assets: dict[str, tuple] = {}
+    for index in range(total_hosts):
+        host = Host(entity_id=f"host-{index}", name=f"esx{index:02d}")
+        shard = plane.adopt_host(host)
+        hosts.append(host)
+        if shard.name not in shard_assets:
+            datastore = shard.inventory.create(
+                Datastore, name=f"lun-{shard.name}", capacity_gb=200_000.0
+            )
+            library = TemplateLibrary(shard.inventory)
+            template = library.publish(MEDIUM_LINUX, datastore)
+            shard_assets[shard.name] = (template, datastore)
+        host.mount(shard_assets[plane.shard_for_host(host).name][1])
+    start = sim.now
+    for index in range(clones):
+        host = hosts[index % len(hosts)]
+        shard = plane.shard_for_host(host)
+        template, datastore = shard_assets[shard.name]
+        plane.submit_on(
+            host, CloneVM(template, f"vm-{index}", host, datastore, linked=True)
+        )
+    sim.run()
+    makespan = sim.now - start
+    throughput = plane.completed_tasks() / makespan * 3600.0 if makespan else 0.0
+    return plane.completed_tasks(), throughput
+
+
+def experiment_f9_shards(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-F9: provisioning throughput vs management-server shard count."""
     shard_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
     total_hosts = 16
     clones = 64 if quick else 192
     rows = []
     series = []
-    for shard_count in shard_counts:
-        sim = Simulator()
-        plane = ShardedControlPlane(sim, RandomStreams(seed), shard_count=shard_count)
-        hosts = []
-        shard_assets: dict[str, tuple] = {}
-        for index in range(total_hosts):
-            host = Host(entity_id=f"host-{index}", name=f"esx{index:02d}")
-            shard = plane.adopt_host(host)
-            hosts.append(host)
-            if shard.name not in shard_assets:
-                datastore = shard.inventory.create(
-                    Datastore, name=f"lun-{shard.name}", capacity_gb=200_000.0
-                )
-                library = TemplateLibrary(shard.inventory)
-                template = library.publish(MEDIUM_LINUX, datastore)
-                shard_assets[shard.name] = (template, datastore)
-            host.mount(shard_assets[plane.shard_for_host(host).name][1])
-        start = sim.now
-        for index in range(clones):
-            host = hosts[index % len(hosts)]
-            shard = plane.shard_for_host(host)
-            template, datastore = shard_assets[shard.name]
-            plane.submit_on(
-                host, CloneVM(template, f"vm-{index}", host, datastore, linked=True)
-            )
-        sim.run()
-        makespan = sim.now - start
-        throughput = plane.completed_tasks() / makespan * 3600.0 if makespan else 0.0
-        rows.append([shard_count, plane.completed_tasks(), f"{throughput:.0f}"])
+    outcomes = run_cells(
+        _f9_cell,
+        [(seed, shard_count, total_hosts, clones) for shard_count in shard_counts],
+        parallel=parallel,
+    )
+    for shard_count, (completed, throughput) in zip(shard_counts, outcomes):
+        rows.append([shard_count, completed, f"{throughput:.0f}"])
         series.append((shard_count, throughput))
     return ExperimentResult(
         exp_id="R-F9",
@@ -1055,7 +1124,25 @@ PHASE_FOLD: dict[str, str] = {
 FOLDED_PHASES = ("queue", "placement", "db", "agent", "cpu", "lock", "copy", "other")
 
 
-def experiment_f_phase(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def _f_phase_cell(cell: tuple[int, int, int, bool]) -> dict[str, float]:
+    """One R-F-phase cell: a traced storm folded to per-phase seconds."""
+    from repro.analysis.spans import aggregate_phase_attribution
+
+    seed, total, concurrency, linked = cell
+    rig = StormRig(seed=seed, traced=True)
+    rig.closed_loop_storm(total=total, concurrency=concurrency, linked=linked)
+    roots = [task.span for task in rig.server.tasks.succeeded()]
+    count = len(roots)
+    attribution = aggregate_phase_attribution(roots)
+    folded = {name: 0.0 for name in FOLDED_PHASES}
+    for phase, seconds in attribution.items():
+        folded[PHASE_FOLD.get(phase, "other")] += seconds / count
+    return folded
+
+
+def experiment_f_phase(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
     """R-F-phase: where each provisioning second goes, phase by phase.
 
     Traced closed-loop clone storms swept over concurrency, full vs
@@ -1066,40 +1153,35 @@ def experiment_f_phase(seed: int = 0, quick: bool = False) -> ExperimentResult:
     which strip away the data plane — the control-plane trio
     (queue + placement + db) grows to dominate provisioning latency.
     """
-    from repro.analysis.spans import aggregate_phase_attribution
-
     total = 24 if quick else 96
     concurrencies = (1, 16) if quick else (1, 4, 16, 64)
+    cells = [
+        (seed, total, concurrency, linked)
+        for linked in (False, True)
+        for concurrency in concurrencies
+    ]
+    outcomes = run_cells(_f_phase_cell, cells, parallel=parallel)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for linked in (False, True):
+    for (_seed, _total, concurrency, linked), folded in zip(cells, outcomes):
         kind = "linked" if linked else "full"
-        for concurrency in concurrencies:
-            rig = StormRig(seed=seed, traced=True)
-            rig.closed_loop_storm(total=total, concurrency=concurrency, linked=linked)
-            roots = [task.span for task in rig.server.tasks.succeeded()]
-            count = len(roots)
-            attribution = aggregate_phase_attribution(roots)
-            folded = {name: 0.0 for name in FOLDED_PHASES}
-            for phase, seconds in attribution.items():
-                folded[PHASE_FOLD.get(phase, "other")] += seconds / count
-            wall = sum(folded.values())
-            trio = folded["queue"] + folded["placement"] + folded["db"]
-            trio_share = trio / wall if wall > 0 else 0.0
-            rows.append(
-                [
-                    kind,
-                    concurrency,
-                    *(f"{folded[name]:.2f}" for name in FOLDED_PHASES),
-                    f"{wall:.2f}",
-                    f"{trio_share * 100:.0f}",
-                ]
-            )
-            if linked:
-                for name in ("queue", "placement", "db", "agent"):
-                    series.setdefault(f"linked {name} share %", []).append(
-                        (float(concurrency), folded[name] / wall * 100.0 if wall else 0.0)
-                    )
+        wall = sum(folded.values())
+        trio = folded["queue"] + folded["placement"] + folded["db"]
+        trio_share = trio / wall if wall > 0 else 0.0
+        rows.append(
+            [
+                kind,
+                concurrency,
+                *(f"{folded[name]:.2f}" for name in FOLDED_PHASES),
+                f"{wall:.2f}",
+                f"{trio_share * 100:.0f}",
+            ]
+        )
+        if linked:
+            for name in ("queue", "placement", "db", "agent"):
+                series.setdefault(f"linked {name} share %", []).append(
+                    (float(concurrency), folded[name] / wall * 100.0 if wall else 0.0)
+                )
     return ExperimentResult(
         exp_id="R-F-phase",
         title="Per-phase provisioning latency vs concurrency",
@@ -1136,12 +1218,27 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(exp_id: str, seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Run one registered experiment by id (e.g. ``"R-F3"``)."""
+#: Experiments whose independent sweep cells the parallel runner can fan out.
+PARALLEL_EXPERIMENTS = frozenset(
+    {"R-F3", "R-F5", "R-F6", "R-F9", "R-F-phase", "R-T3"}
+)
+
+
+def run_experiment(
+    exp_id: str, seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"R-F3"``).
+
+    ``parallel`` fans independent sweep cells across processes for the
+    experiments in :data:`PARALLEL_EXPERIMENTS`; single-cell experiments
+    ignore it. ``None`` defers to ``REPRO_BENCH_PARALLEL``.
+    """
     try:
         experiment = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+    if exp_id in PARALLEL_EXPERIMENTS:
+        return experiment(seed=seed, quick=quick, parallel=parallel)
     return experiment(seed=seed, quick=quick)

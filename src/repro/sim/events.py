@@ -5,6 +5,10 @@ yielding them; resources and the kernel trigger them. Events carry either a
 value (success) or an exception (failure), and support cancellation so that
 fluid-flow models (e.g. the fair-share bandwidth link) can reschedule
 completions.
+
+Hot-path notes: events are the single most-allocated object in any run, so
+the class is slotted and names are lazy — ``name`` is only formatted when a
+``repr`` or error message actually needs it, never on the dispatch path.
 """
 
 from __future__ import annotations
@@ -33,18 +37,37 @@ class Event:
     sim:
         The owning simulator.
     name:
-        Optional label used in ``repr`` and error messages.
+        Optional label used in ``repr`` and error messages. Subclasses
+        with a cheap derived label leave this unset and override
+        :meth:`_default_name` instead, so no string is built per event.
     """
+
+    __slots__ = ("sim", "_name", "callbacks", "_state", "_value", "_exception")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.name = name
+        self._name = name or None
         self.callbacks: list[typing.Callable[["Event"], None]] = []
         self._state = PENDING
         self._value: typing.Any = None
         self._exception: BaseException | None = None
 
     # -- introspection ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Label for diagnostics; formatted lazily on first use."""
+        name = self._name
+        if name is None:
+            return self._default_name()
+        return name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
+    def _default_name(self) -> str:
+        return ""
 
     @property
     def triggered(self) -> bool:
@@ -104,9 +127,13 @@ class Event:
         A cancelled event never fires its callbacks. Pending events and
         triggered-but-unprocessed events (e.g. a scheduled completion timer
         being rescheduled) may be cancelled; a processed event may not.
+        A triggered event sits on the simulator heap, so the simulator is
+        told about the dead entry for its heap-hygiene accounting.
         """
         if self._state == PROCESSED:
             raise RuntimeError(f"cannot cancel {self!r}: already processed")
+        if self._state == TRIGGERED:
+            self.sim._note_cancelled()
         self._state = CANCELLED
 
     # -- kernel hooks -------------------------------------------------------
@@ -115,9 +142,11 @@ class Event:
         if self._state == CANCELLED:
             return
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
@@ -126,6 +155,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(
         self,
@@ -136,11 +167,19 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim, name=name or f"timeout({delay})")
-        self.delay = delay
+        # Inlined Event.__init__: timeouts are the hottest allocation in the
+        # whole simulator, and the super() indirection is measurable.
+        self.sim = sim
+        self._name = name or None
+        self.callbacks = []
         self._state = TRIGGERED
         self._value = value
+        self._exception = None
+        self.delay = delay
         sim._enqueue(self, delay)
+
+    def _default_name(self) -> str:
+        return f"timeout({self.delay})"
 
 
 class Condition(Event):
@@ -149,6 +188,8 @@ class Condition(Event):
     The condition evaluates each time a constituent fires. A failing
     constituent fails the condition immediately with the same exception.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event], name: str = "") -> None:
         super().__init__(sim, name=name)
@@ -163,12 +204,11 @@ class Condition(Event):
             self.succeed(value={})
             return
         for event in self.events:
-            if event.triggered:
-                # Already-decided events are folded in via an immediate
-                # callback once the kernel processes them; register anyway.
-                event.callbacks.append(self._check)
-                if event.processed:
-                    self._check(event)
+            if event.processed:
+                # A processed event already ran (and cleared) its callback
+                # list; appending there would leave a dead reference that
+                # never fires. Fold the outcome in directly instead.
+                self._check(event)
             else:
                 event.callbacks.append(self._check)
 
@@ -191,12 +231,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds once every constituent event has succeeded."""
 
+    __slots__ = ()
+
     def _evaluate(self) -> bool:
         return all(event.processed and event.ok for event in self.events)
 
 
 class AnyOf(Condition):
     """Succeeds as soon as any constituent event succeeds."""
+
+    __slots__ = ()
 
     def _evaluate(self) -> bool:
         return any(event.processed and event.ok for event in self.events)

@@ -4,14 +4,33 @@ Processes are Python generators that yield :class:`~repro.sim.events.Event`
 instances; the kernel resumes them when the event fires. Determinism is
 guaranteed by a strict (time, priority, sequence) ordering on the event heap:
 two runs with the same seed produce identical schedules.
+
+Fast path
+---------
+
+Same-tick resumes — process bootstrap on ``spawn()``, a yield of an
+already-processed event, and ``interrupt()`` — do not allocate relay
+:class:`Event` objects. They go on an *urgent* FIFO of ``(time, sequence,
+callable)`` entries that the loop drains against the heap using the exact
+same ``(time, priority, sequence)`` total order the relay events would have
+had, so the schedule is bit-identical to the pre-fast-path kernel (covered
+by a property test). ``Simulator(fast_resume=False)`` keeps the old
+event-object path for differential testing.
+
+Heap hygiene: cancelling a scheduled event (fair-share links do this on
+every membership change) leaves a dead heap entry. Dead heads are dropped
+on the single shared scan in :meth:`Simulator._prune`, and when dead
+entries outnumber live ones the heap is compacted in place, so cancel-heavy
+runs keep a bounded heap.
 """
 
 from __future__ import annotations
 
-import heapq
 import typing
+from collections import deque
+from heapq import heapify, heappop, heappush
 
-from repro.sim.events import CANCELLED, Event, EventCancelled, Timeout
+from repro.sim.events import CANCELLED, PENDING, PROCESSED, Event, EventCancelled, Timeout
 
 ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
 
@@ -19,6 +38,8 @@ ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
 # run before ordinary events so resource handoffs are prompt.
 URGENT = 0
 NORMAL = 1
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -40,16 +61,29 @@ class Process(Event):
     exception inside the generator fails the process event with it.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"process body must be a generator, got {type(generator).__name__}")
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.sim = sim
+        self._name = name or None
+        self.callbacks = []
+        self._state = PENDING
+        self._value = None
+        self._exception = None
         self._generator = generator
         self._waiting_on: Event | None = None
         # Kick off at the current time, urgently, so spawn order is preserved.
-        bootstrap = Event(sim, name=f"start:{self.name}")
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        if sim._fast_resume:
+            sim._defer(self._bootstrap)
+        else:
+            bootstrap = Event(sim, name=f"start:{self.name}")
+            bootstrap.callbacks.append(self._resume)
+            bootstrap.succeed()
+
+    def _default_name(self) -> str:
+        return getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
@@ -63,13 +97,19 @@ class Process(Event):
         """
         if self.triggered:
             raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
-        interrupt_event = Event(self.sim, name=f"interrupt:{self.name}")
-        interrupt_event.callbacks.append(
-            lambda _event: self._throw_in(Interrupt(cause))
-        )
-        interrupt_event.succeed()
+        if self.sim._fast_resume:
+            self.sim._defer(lambda: self._throw_in(Interrupt(cause)))
+        else:
+            interrupt_event = Event(self.sim, name=f"interrupt:{self.name}")
+            interrupt_event.callbacks.append(
+                lambda _event: self._throw_in(Interrupt(cause))
+            )
+            interrupt_event.succeed()
 
     # -- internals --------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        self._step(self._generator.send, None)
 
     def _detach(self) -> None:
         if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
@@ -91,20 +131,27 @@ class Process(Event):
                 resource = getattr(waited, "resource", None)
                 if resource is not None:
                     resource.release(waited)
-        self._step(lambda: self._generator.throw(exc))
+        self._step(self._generator.throw, exc)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if event.cancelled or event._state == CANCELLED:
-            self._step(lambda: self._generator.throw(EventCancelled(event.name)))
-        elif event.ok:
-            self._step(lambda: self._generator.send(event._value))
+        if event._state == CANCELLED:
+            self._step(self._generator.throw, EventCancelled(event.name))
+        elif event._exception is None:
+            self._step(self._generator.send, event._value)
         else:
-            self._step(lambda: self._generator.throw(event.exception))
+            self._step(self._generator.throw, event._exception)
 
-    def _step(self, advance: typing.Callable[[], Event]) -> None:
+    def _deferred_resume(self, target: Event) -> None:
+        # Guards the same-tick resume of an already-processed yield: an
+        # interrupt (or a further yield) between scheduling and draining
+        # retargets or finishes the process, making this entry stale.
+        if self._waiting_on is target:
+            self._resume(target)
+
+    def _step(self, advance: typing.Callable[[typing.Any], Event], arg: typing.Any) -> None:
         try:
-            target = advance()
+            target = advance(arg)
         except StopIteration as stop:
             self.succeed(value=stop.value)
             return
@@ -122,14 +169,17 @@ class Process(Event):
             self.fail(RuntimeError("yielded event belongs to a different simulator"))
             return
         self._waiting_on = target
-        if target.processed:
+        if target._state == PROCESSED:
             # Already fully fired: resume on the next tick of the loop.
-            relay = Event(self.sim, name=f"relay:{self.name}")
-            relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(value=target._value)
+            if self.sim._fast_resume:
+                self.sim._defer(lambda: self._deferred_resume(target))
             else:
-                relay.fail(target.exception)  # type: ignore[arg-type]
+                relay = Event(self.sim, name=f"relay:{self.name}")
+                relay.callbacks.append(lambda _event: self._deferred_resume(target))
+                if target._exception is None:
+                    relay.succeed(value=target._value)
+                else:
+                    relay.fail(target._exception)
         else:
             target.callbacks.append(self._resume)
 
@@ -141,18 +191,30 @@ class Simulator:
     ----------
     start:
         Initial simulated time (seconds by convention throughout this repo).
+    fast_resume:
+        When True (the default) same-tick process resumes use the urgent
+        FIFO instead of relay events. Schedules are identical either way;
+        the flag exists for differential testing.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, fast_resume: bool = True) -> None:
         self._now = float(start)
         self._heap: list[tuple[float, int, int, Event]] = []
+        self._urgent: deque[tuple[float, int, typing.Callable[[], None]]] = deque()
         self._sequence = 0
         self._spawned = 0
+        self._cancelled_in_heap = 0
+        self._fast_resume = fast_resume
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def heap_size(self) -> int:
+        """Scheduled entries, live and dead — bounded by heap hygiene."""
+        return len(self._heap)
 
     # -- event construction ------------------------------------------------
 
@@ -178,25 +240,61 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def _defer(self, fn: typing.Callable[[], None]) -> None:
+        """Schedule a same-tick kernel resume without an Event allocation.
+
+        Entries carry the ``(time, sequence)`` the equivalent relay event
+        would have had, so the drain order against the heap is unchanged.
+        Time never moves backwards, so the FIFO is sorted by construction.
+        """
+        self._sequence += 1
+        self._urgent.append((self._now, self._sequence, fn))
+
+    def _note_cancelled(self) -> None:
+        """A scheduled heap entry died; compact when the dead dominate."""
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap >= 64 and self._cancelled_in_heap * 2 >= len(self._heap):
+            # In-place so loops holding a reference to the heap stay valid.
+            self._heap[:] = [
+                entry for entry in self._heap if entry[3]._state != CANCELLED
+            ]
+            heapify(self._heap)
+            self._cancelled_in_heap = 0
+
+    def _prune(self) -> None:
+        """Drop cancelled heads — the single cancelled-event scan."""
+        heap = self._heap
+        while heap and heap[0][3]._state == CANCELLED:
+            heappop(heap)
+            self._cancelled_in_heap -= 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        while self._heap and self._heap[0][3]._state == CANCELLED:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return float("inf")
-        return self._heap[0][0]
+        self._prune()
+        heap_time = self._heap[0][0] if self._heap else _INF
+        if self._urgent:
+            urgent_time = self._urgent[0][0]
+            if urgent_time < heap_time:
+                return urgent_time
+        return heap_time
 
     def step(self) -> None:
         """Process exactly one event."""
-        while True:
-            if not self._heap:
-                raise RuntimeError("step() on an empty schedule")
-            when, _priority, _seq, event = heapq.heappop(self._heap)
-            if event._state == CANCELLED:
-                continue
-            break
+        self._prune()
+        heap = self._heap
+        urgent = self._urgent
+        if urgent:
+            entry = urgent[0]
+            if not heap or (entry[0], NORMAL, entry[1]) <= heap[0][:3]:
+                urgent.popleft()
+                self._now = entry[0]
+                entry[2]()
+                return
+        if not heap:
+            raise RuntimeError("step() on an empty schedule")
+        when, _priority, _seq, event = heappop(heap)
         if when < self._now:
             raise RuntimeError("event scheduled in the past; kernel invariant broken")
         self._now = when
@@ -212,25 +310,51 @@ class Simulator:
         - an :class:`Event` — run until that event fires, returning its value
           (or raising its failure).
         """
-        if until is None:
-            while self._heap:
-                if self.peek() == float("inf"):
-                    break
-                self.step()
-            return None
+        target: Event | None = None
+        horizon: float | None = None
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if self.peek() == float("inf"):
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon} is in the past (now={self._now})")
+
+        # One inlined drain loop for all three modes: per-event dispatch is
+        # the simulator's innermost loop, so heap/urgent/method lookups are
+        # bound locally and the cancelled scan happens exactly once per
+        # iteration (in the shared prune below).
+        heap = self._heap
+        urgent = self._urgent
+        pop = heappop
+        while True:
+            if target is not None and target._state == PROCESSED:
+                return target.value
+            while heap and heap[0][3]._state == CANCELLED:
+                pop(heap)
+                self._cancelled_in_heap -= 1
+            if urgent:
+                entry = urgent[0]
+                if not heap or (entry[0], NORMAL, entry[1]) <= heap[0][:3]:
+                    when = entry[0]
+                    if horizon is not None and when > horizon:
+                        break
+                    urgent.popleft()
+                    self._now = when
+                    entry[2]()
+                    continue
+            elif not heap:
+                if target is not None:
                     raise RuntimeError(
                         f"simulation ran dry before {target!r} fired (deadlock?)"
                     )
-                self.step()
-            return target.value
-        horizon = float(until)
-        if horizon < self._now:
-            raise ValueError(f"until={horizon} is in the past (now={self._now})")
-        while self.peek() <= horizon:
-            self.step()
-        self._now = horizon
+                break
+            when, _priority, _seq, event = pop(heap)
+            if horizon is not None and when > horizon:
+                # Not yet due: put it back and stop at the horizon.
+                heappush(heap, (when, _priority, _seq, event))
+                break
+            self._now = when
+            event._run_callbacks()
+        if horizon is not None:
+            self._now = horizon
         return None

@@ -24,12 +24,17 @@ class Request(Event):
     still queued — used to implement request timeouts.
     """
 
+    __slots__ = ("resource", "priority", "enqueued_at", "granted_at")
+
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
-        super().__init__(resource.sim, name=f"request:{resource.name}")
+        super().__init__(resource.sim)
         self.resource = resource
         self.priority = priority
         self.enqueued_at = resource.sim.now
         self.granted_at: float | None = None
+
+    def _default_name(self) -> str:
+        return f"request:{self.resource.name}"
 
     def withdraw(self) -> None:
         """Remove this request from the resource queue before it is granted."""

@@ -16,7 +16,7 @@ from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Transfer:
     """An in-flight transfer on a link."""
 
@@ -55,6 +55,10 @@ class FairShareLink:
         self.bytes_delivered = 0.0
         self.transfer_count = 0
         self._busy_area = 0.0  # integral of (active>0) for utilization
+        # Labels are per-link constants; formatting them per event is pure
+        # hot-path waste on links that reschedule at every membership change.
+        self._xfer_label = f"xfer:{name}"
+        self._complete_label = f"complete:{name}"
 
     # -- public API -----------------------------------------------------------
 
@@ -62,7 +66,7 @@ class FairShareLink:
         """Start a transfer; the returned event fires with the Transfer."""
         if size_bytes < 0:
             raise ValueError(f"negative transfer size {size_bytes}")
-        done = Event(self.sim, name=f"xfer:{self.name}")
+        done = Event(self.sim, name=self._xfer_label)
         record = Transfer(
             size_bytes=size_bytes,
             remaining=size_bytes,
@@ -139,7 +143,7 @@ class FairShareLink:
             return
         rate = self.capacity_bps / len(self._active)
         soonest = min(transfer.remaining for transfer in self._active)
-        timer = Event(self.sim, name=f"complete:{self.name}")
+        timer = Event(self.sim, name=self._complete_label)
         timer.callbacks.append(self._on_completion)
         timer.succeed(delay=soonest / rate)
         self._next_completion = timer
