@@ -1,0 +1,19 @@
+"""R-F-alerts: burn-rate alert timeline under the standard fault schedule.
+
+Expected shape: the telemetry pipeline's multi-window burn-rate rules
+surface every injected fault window *before* that fault's goodput trough
+(the worst 60 s success-rate window it causes) — detection leads damage.
+The alert timeline and per-window roll-ups land in the exhibit notes.
+"""
+
+
+def test_bench_alerts_timeline(exhibit):
+    result = exhibit("R-F-alerts")
+    assert result.rows, "no fault windows analyzed"
+    for row in result.rows:
+        kind, _window, _trough, _goodput, first_alert, _fired, lead = row
+        assert first_alert != "(none)", f"fault {kind} never surfaced by an alert"
+        assert float(lead) >= 0.0, f"fault {kind} alerted after its trough"
+    # The timeline itself made it into the exhibit.
+    assert "alert timeline:" in result.notes
+    assert "FIRE" in result.notes

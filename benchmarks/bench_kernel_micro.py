@@ -138,3 +138,23 @@ def test_cancel_storm_heap_bounded(benchmark):
     # Without hygiene the heap grows to ~cycles entries; with it, the dead
     # never outnumber the live by more than the compaction threshold.
     assert peak < 200
+
+
+def run_storm_telemetry_off(total, concurrency):
+    """A full control-plane clone storm with telemetry disabled.
+
+    Guards the null-telemetry hot path: every instrumentation point added
+    for the live pipeline costs one no-op bound-method call here, so this
+    end-to-end rate catches any creep in the disabled-path overhead.
+    """
+    from repro.core.experiments import StormRig
+
+    rig = StormRig(seed=0, hosts=8, datastores=2, telemetry=False)
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=True)
+    return int(summary["completed"])
+
+
+def test_storm_telemetry_off_throughput(benchmark):
+    """48 linked clones, concurrency 12, NULL_TELEMETRY instrumentation."""
+    completed = benchmark(run_storm_telemetry_off, 48, 12)
+    assert completed == 48

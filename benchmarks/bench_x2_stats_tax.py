@@ -1,7 +1,9 @@
 """R-X2 (extension): the statistics-collection tax on provisioning.
 
 Expected shape: higher stats levels (more rows per host per cycle) eat
-database headroom and reduce linked-clone storm throughput.
+database headroom and reduce linked-clone storm throughput. The modeled
+stats load is read back through the telemetry scraper's roll-ups, so the
+scraped rows/s must track the level's row multiplier.
 """
 
 
@@ -11,3 +13,7 @@ def test_bench_x2_stats_tax(exhibit):
     levels = sorted(throughput)
     # Level 4 measurably slower than no collection.
     assert throughput[levels[-1]] < 0.95 * throughput[0]
+    # The scraper sees the stats load grow strictly with the level.
+    scraped = [float(row[4]) for row in result.rows]
+    assert scraped == sorted(scraped)
+    assert scraped[0] == 0.0 and scraped[-1] > 0.0

@@ -30,6 +30,7 @@ from bench_kernel_micro import (  # noqa: E402
     run_fair_share_churn,
     run_resource_contention,
     run_spawn_churn,
+    run_storm_telemetry_off,
     run_timeout_chain,
 )
 
@@ -42,6 +43,7 @@ BENCHES = {
     "fair_share_churn": (run_fair_share_churn, (500,), 500, "transfers"),
     "spawn_churn": (run_spawn_churn, (400, 12), 4_800, "processes"),
     "cancel_storm": (run_cancel_storm, (20_000,), 20_000, "cancel/rearm cycles"),
+    "storm_telemetry_off": (run_storm_telemetry_off, (48, 12), 48, "linked clones"),
 }
 
 

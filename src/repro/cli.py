@@ -11,6 +11,10 @@ Commands:
 - ``trace`` — a traced clone storm: per-phase attribution and the
   critical path printed, span tree exportable as Chrome trace JSON
   (load in ``chrome://tracing`` / Perfetto) or JSONL.
+- ``metrics`` — a telemetry-instrumented deploy storm: live-scraped
+  roll-ups rendered as a ``top``-style dashboard (utilization, queue
+  depths, breaker states, retry budget, burn-rate alerts), with
+  Prometheus-text and JSONL exports.
 - ``list`` — enumerate profiles and experiments.
 """
 
@@ -99,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-out", help="write spans as Chrome trace-event JSON"
     )
     trace_cmd.add_argument("--jsonl-out", help="write spans as JSONL")
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="telemetry-instrumented fault storm: top-style dashboard + exports",
+    )
+    metrics_cmd.add_argument("--duration", type=float, default=600.0,
+                             help="arrival window in sim seconds")
+    metrics_cmd.add_argument("--rate", type=float, default=1.6,
+                             help="deploy arrivals per second")
+    metrics_cmd.add_argument("--scale", type=float, default=1.5,
+                             help="fault blast-radius multiplier")
+    metrics_cmd.add_argument("--seed", type=int, default=0)
+    metrics_cmd.add_argument("--interval", type=float, default=5.0,
+                             help="scrape cadence in sim seconds")
+    metrics_cmd.add_argument("--no-faults", action="store_true",
+                             help="run the storm without the fault schedule")
+    metrics_cmd.add_argument(
+        "--prom-out", help="write Prometheus text exposition of the final state"
+    )
+    metrics_cmd.add_argument("--rollups-out", help="write roll-up windows as JSONL")
+    metrics_cmd.add_argument("--alerts-out", help="write the alert timeline as JSONL")
 
     sub.add_parser("list", help="list profiles and experiments")
     return parser
@@ -324,6 +349,140 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from repro.cloud.api import AdmissionShed, ApiGateway
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization, User
+    from repro.controlplane.costs import ControlPlaneConfig, DEFAULT_COSTS
+    from repro.controlplane.resilience import BreakerPolicy, RetryPolicy
+    from repro.datacenter.templates import MEDIUM_LINUX
+    from repro.faults import FaultInjector, FaultTargets, standard_fault_schedule
+    from repro.sim.events import AllOf
+    from repro.telemetry import (
+        BurnWindow,
+        LatencyRule,
+        RatioRule,
+        render_dashboard,
+        write_alerts,
+        write_prometheus,
+        write_rollups,
+    )
+
+    try:
+        if args.duration <= 0:
+            raise ValueError("duration must be positive")
+        if args.rate <= 0:
+            raise ValueError("rate must be positive")
+        if args.interval <= 0:
+            raise ValueError("interval must be positive")
+    except ValueError as error_:
+        print(f"error: {error_}", file=sys.stderr)
+        return 2
+
+    config = ControlPlaneConfig(
+        retry_budget_ratio=0.2,
+        task_deadline_s=240.0,
+        breaker=BreakerPolicy(failure_threshold=3, cooldown_s=45.0),
+    )
+    rig = StormRig(
+        seed=args.seed, hosts=16, datastores=4, host_memory_gb=512.0,
+        costs=_dc.replace(DEFAULT_COSTS, host_call_timeout_s=20.0),
+        config=config, telemetry=True, scrape_interval_s=args.interval,
+    )
+    telemetry = rig.telemetry
+    catalog = Catalog("demo")
+    item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+    org = Organization("demo-org", quota_vms=1_000_000, quota_storage_gb=1e9)
+    director = CloudDirector(
+        rig.server, rig.cluster, rig.library, catalog,
+        retry_policy=RetryPolicy(max_attempts=6, base_backoff_s=2.0),
+    )
+    gateway = ApiGateway(
+        rig.sim, requests_per_minute=600.0, burst=50.0, telemetry=telemetry
+    )
+    gateway.enable_shedding(lambda: rig.server.tasks.queue_depth, 128.0)
+    session = gateway.login(User("tenant", org))
+
+    windows = (
+        BurnWindow(short_s=60.0, long_s=180.0, threshold=2.0),
+        BurnWindow(short_s=180.0, long_s=600.0, threshold=1.0),
+    )
+    success = 'tasks_completed_total{outcome="success"}'
+    error = 'tasks_completed_total{outcome="error"}'
+    telemetry.add_rule(LatencyRule(
+        name="deploy-latency-p99", objective=0.95,
+        metric="director_deploy_latency_s", threshold_s=60.0, windows=windows,
+    ))
+    telemetry.add_rule(RatioRule(
+        name="task-goodput", objective=0.98,
+        bad_metric=error, total_metrics=(success, error), windows=windows,
+    ))
+    telemetry.add_rule(RatioRule(
+        name="dead-letter-rate", objective=0.995,
+        bad_metric="tasks_dead_letter_total",
+        total_metrics=(success, error), windows=windows,
+    ))
+    telemetry.start()
+
+    injector = None
+    if not args.no_faults:
+        try:
+            schedule = standard_fault_schedule(args.duration, scale=args.scale)
+        except ValueError as error_:
+            print(f"error: {error_}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(
+            rig.sim,
+            FaultTargets.for_server(rig.server),
+            schedule,
+            rng=rig.streams.stream("fault-injector"),
+        ).start()
+
+    requests: list = []
+
+    def one(index: int) -> typing.Generator:
+        try:
+            yield from gateway.admit(session)
+        except AdmissionShed:
+            return
+        yield from director.deploy(
+            DeployRequest(org=org, item=item, vm_count=1, vapp_name=f"req{index}")
+        )
+
+    def arrivals() -> typing.Generator:
+        rng = rig.streams.stream("arrivals")
+        index = 0
+        while rig.sim.now < args.duration:
+            yield rig.sim.timeout(rng.expovariate(args.rate))
+            if rig.sim.now >= args.duration:
+                break
+            requests.append(rig.sim.spawn(one(index), name=f"req-{index}"))
+            index += 1
+
+    source = rig.sim.spawn(arrivals(), name="arrivals")
+    rig.sim.run(until=source)
+    if requests:
+        rig.sim.run(until=AllOf(rig.sim, requests))
+    if injector is not None:
+        rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
+    telemetry.stop()
+
+    print(render_dashboard(telemetry))
+    if args.prom_out:
+        path = write_prometheus(telemetry, args.prom_out)
+        print(f"wrote Prometheus exposition to {path}")
+    if args.rollups_out:
+        path = write_rollups(telemetry, args.rollups_out)
+        print(f"wrote roll-up windows to {path}")
+    if args.alerts_out:
+        path = write_alerts(telemetry, args.alerts_out)
+        print(f"wrote alert timeline to {path}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -342,6 +501,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "sweep": cmd_sweep,
     "faults": cmd_faults,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "list": cmd_list,
 }
 

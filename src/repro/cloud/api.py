@@ -18,6 +18,7 @@ from repro.faults.errors import TransientError
 from repro.sim.kernel import Simulator
 from repro.sim.resources import TokenBucket
 from repro.sim.stats import MetricsRegistry
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.tracing import NULL_SPAN, PHASE_ADMISSION
 
 
@@ -61,6 +62,7 @@ class ApiGateway:
         session_idle_timeout_s: float = 1800.0,
         shed_watermark: float | None = None,
         queue_depth_probe: typing.Callable[[], float] | None = None,
+        telemetry=None,
     ) -> None:
         if requests_per_minute <= 0 or burst <= 0:
             raise ValueError("rate and burst must be positive")
@@ -78,6 +80,10 @@ class ApiGateway:
         self._sessions: dict[int, Session] = {}
         self._buckets: dict[str, TokenBucket] = {}
         self._next_id = 0
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._t_admitted = telemetry.counter("gateway_admitted_total")
+        self._t_shed = telemetry.counter("gateway_shed_total")
+        self._t_wait = telemetry.histogram("gateway_admission_wait_s")
 
     def enable_shedding(
         self, queue_depth_probe: typing.Callable[[], float], watermark: float
@@ -170,6 +176,7 @@ class ApiGateway:
                 depth = self.queue_depth_probe()
                 if depth >= self.shed_watermark:
                     self.metrics.counter("shed").add()
+                    self._t_shed.add()
                     raise AdmissionShed(
                         f"task backlog {depth:.0f} >= watermark "
                         f"{self.shed_watermark:.0f}; request shed"
@@ -183,4 +190,6 @@ class ApiGateway:
         wait = self.sim.now - start
         self.metrics.counter("admitted").add()
         self.metrics.latency("admission_wait").record(wait)
+        self._t_admitted.add()
+        self._t_wait.observe(wait)
         return wait

@@ -73,6 +73,15 @@ class CloudDirector:
         self._retry_rng = server.streams.stream(f"{server.name}:director-retry")
         self.metrics = MetricsRegistry(server.sim, prefix="director")
         self.vapps: list[VApp] = []
+        # Telemetry handles from the server's hub (NULL_METRIC when disabled).
+        telemetry = server.telemetry
+        self._t_deploys = telemetry.counter("director_deploys_total")
+        self._t_vm_failures = telemetry.counter("director_vm_failures_total")
+        self._t_vm_retries = telemetry.counter("director_vm_retries_total")
+        self._t_placement_failures = telemetry.counter(
+            "director_placement_failures_total"
+        )
+        self._t_deploy_latency = telemetry.histogram("director_deploy_latency_s")
 
     def _tripped_hosts(self) -> set[str]:
         """Hosts whose agent circuit breaker is currently open."""
@@ -158,12 +167,15 @@ class CloudDirector:
         if failures:
             request.org.credit(failures, storage_per_vm * failures)
             self.metrics.counter("vm_failures").add(failures)
+            self._t_vm_failures.add(failures)
         vapp.deployed_at = self.sim.now
         vapp.settle(failures)
         request_span.annotate("failures", failures)
         request_span.finish(error="DeployFailed" if failures else None)
         self.metrics.latency("deploy_latency").record(vapp.deploy_latency)
         self.metrics.counter(f"vapp_{vapp.state.value}").add()
+        self._t_deploys.add()
+        self._t_deploy_latency.observe(vapp.deploy_latency)
         return vapp
 
     def _deploy_one(
@@ -234,11 +246,13 @@ class CloudDirector:
                     continue
             if host is None:
                 self.metrics.counter("placement_failures").add()
+                self._t_placement_failures.add()
                 return None
             name = f"{vapp.name}-vm{index}"
             if attempt:
                 name = f"{name}-r{attempt}"
                 self.metrics.counter("vm_retries").add()
+                self._t_vm_retries.add()
             operation = DeployFromTemplate(
                 template, name, host, datastore, linked=request.item.linked
             )

@@ -30,8 +30,13 @@ from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFA
 from repro.controlplane.database import DatabaseModel
 from repro.controlplane.host_agent import HostAgent
 from repro.controlplane.locks import LockManager
-from repro.controlplane.resilience import CircuitBreaker, RetryBudget
+from repro.controlplane.resilience import (
+    BREAKER_STATE_VALUE,
+    CircuitBreaker,
+    RetryBudget,
+)
 from repro.controlplane.task_manager import Task, TaskManager
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.tracing import NULL_SPAN, NULL_TRACER, PHASE_CPU, PHASE_QUEUE
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +55,7 @@ class ManagementServer:
         name: str = "vc-1",
         storage_capacity_bps: float | None = None,
         tracer=None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -57,6 +63,7 @@ class ManagementServer:
         self.config = config or ControlPlaneConfig()
         self.streams = streams
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.metrics = MetricsRegistry(sim, prefix=name)
         self.inventory = Inventory()
 
@@ -89,6 +96,7 @@ class ManagementServer:
             task_deadline_s=self.config.task_deadline_s,
             rng=streams.stream(f"{name}:retry"),
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         self.cpu = Resource(sim, capacity=self.config.cpu_workers, name=f"{name}-cpu")
         self._cpu_rng = streams.stream(f"{name}:cpu")
@@ -115,6 +123,35 @@ class ManagementServer:
         self.faults = FaultHook(sim, name=name, error_factory=ShardUnavailable)
         self.event_log = None
         self.started_at = sim.now
+        self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Expose every child registry and resource to the scraper.
+
+        Registries are *watched* (the scraper reads them; nothing in the
+        hot path changes) and instantaneous resource levels are exposed as
+        read-only probes — both no-ops on :data:`NULL_TELEMETRY`.
+        """
+        telemetry = self.telemetry
+        telemetry.watch_registry(self.database.metrics, component="db")
+        telemetry.watch_registry(self.tasks.metrics, component="tasks")
+        telemetry.watch_registry(self.locks.metrics, component="locks")
+        telemetry.watch_registry(self.copy_engine.metrics, component="copy")
+        telemetry.watch_registry(self.copy_scheduler.metrics, component="copysched")
+        telemetry.probe(
+            "cpu_utilization", lambda: self.cpu.in_use / self.cpu.capacity
+        )
+        telemetry.probe("db_pool_in_use", lambda: float(self.database.pool.in_use))
+        telemetry.probe(
+            "db_utilization",
+            lambda: self.database.pool.in_use / self.database.pool.capacity,
+        )
+        telemetry.probe("db_pool_queue", lambda: float(self.database.queue_depth))
+        telemetry.probe("tasks_queue_depth", lambda: float(self.tasks.queue_depth))
+        if self.retry_budget is not None:
+            telemetry.probe(
+                "retry_budget_tokens", lambda: float(self.retry_budget.tokens)
+            )
 
     def enable_event_logging(
         self,
@@ -164,6 +201,19 @@ class ManagementServer:
                 metrics=agent.metrics,
             )
         self._agents[host.entity_id] = agent
+        self.telemetry.watch_registry(agent.metrics, host=host.name)
+        self.telemetry.probe(
+            "hostd_utilization",
+            lambda a=agent: a.slots.in_use / a.slots.capacity,
+            host=host.name,
+        )
+        self.telemetry.probe(
+            "hostd_breaker_state",
+            lambda a=agent: float(BREAKER_STATE_VALUE[a.breaker.state])
+            if a.breaker is not None
+            else 0.0,
+            host=host.name,
+        )
         return agent
 
     def agent(self, host: Host) -> HostAgent:

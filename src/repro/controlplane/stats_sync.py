@@ -41,6 +41,10 @@ class StatsCollector:
         self.interval_s = interval_s
         self.level = level
         self.metrics = MetricsRegistry(server.sim, prefix=f"{server.name}.stats")
+        # The stats pipeline is itself a scrape target: its rows/cycles
+        # counters become per-window rates in the telemetry roll-ups
+        # (R-X2 reads the modeled stats load through this path).
+        server.telemetry.watch_registry(self.metrics, component="statsd")
         self._until: float | None = None
         self._running = False
 

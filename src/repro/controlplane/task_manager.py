@@ -34,6 +34,7 @@ from repro.controlplane.resilience import (
     RetryPolicy,
     TaskDeadlineExceeded,
 )
+from repro.telemetry.metrics import NULL_TELEMETRY
 from repro.tracing import (
     NULL_SPAN,
     NULL_TRACER,
@@ -106,6 +107,7 @@ class TaskManager:
         task_deadline_s: float | None = None,
         rng: random.Random | None = None,
         tracer=None,
+        telemetry=None,
     ) -> None:
         if task_deadline_s is not None and task_deadline_s <= 0:
             raise ValueError("task_deadline_s must be positive")
@@ -129,6 +131,14 @@ class TaskManager:
         # Optional event sink (see controlplane.eventlog); completion posts
         # one event per task, errors at elevated severity.
         self.event_log = None
+        # Telemetry handles, grabbed once (all NULL_METRIC when disabled —
+        # the hot path pays one no-op bound-method call per event).
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._t_success = telemetry.counter("tasks_completed_total", outcome="success")
+        self._t_error = telemetry.counter("tasks_completed_total", outcome="error")
+        self._t_retries = telemetry.counter("tasks_retries_total")
+        self._t_dead_letter = telemetry.counter("tasks_dead_letter_total")
+        self._t_latency = telemetry.histogram("tasks_latency_s")
 
     def run_task(
         self,
@@ -247,6 +257,7 @@ class TaskManager:
                             raise
                         self.metrics.counter("retries").add()
                         self.metrics.counter(f"retries.{op_type}").add()
+                        self._t_retries.add()
                         if delay > 0:
                             backoff_span = root_span.child(
                                 "task.backoff",
@@ -345,6 +356,7 @@ class TaskManager:
             )
         )
         self.metrics.counter("dead_letter").add()
+        self._t_dead_letter.add()
 
     def _finalize(self, task: Task) -> typing.Generator:
         """Completion row + metrics + event post; never masks the outcome."""
@@ -360,6 +372,9 @@ class TaskManager:
         self.metrics.counter(f"completed.{task.op_type}").add()
         self.metrics.latency(f"latency.{task.op_type}").record(task.latency)
         self.metrics.latency("latency.all").record(task.latency)
+        outcome = self._t_success if task.state is TaskState.SUCCESS else self._t_error
+        outcome.add()
+        self._t_latency.observe(task.latency)
         if self.event_log is not None:
             severity = "info" if task.state == TaskState.SUCCESS else "warning"
             self.event_log.post(

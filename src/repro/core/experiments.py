@@ -30,6 +30,7 @@ from repro.operations.provisioning import CloneVM, DeployFromTemplate
 from repro.operations.reconfiguration import AddHost, RescanDatastore
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
+from repro.telemetry.metrics import NULL_TELEMETRY, Telemetry
 from repro.tracing import NULL_TRACER, Tracer
 from repro.workloads.arrivals import MMPPBurst, Poisson
 from repro.workloads.lifetimes import CLASSIC_DC_LIFETIME, CLOUD_A_LIFETIME
@@ -76,16 +77,24 @@ class StormRig:
         costs: ControlPlaneCosts = DEFAULT_COSTS,
         config: ControlPlaneConfig | None = None,
         traced: bool = False,
+        telemetry: bool = False,
+        scrape_interval_s: float = 5.0,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(self.sim) if traced else NULL_TRACER
+        self.telemetry = (
+            Telemetry(self.sim, scrape_interval_s=scrape_interval_s)
+            if telemetry
+            else NULL_TELEMETRY
+        )
         self.server = ManagementServer(
             self.sim,
             self.streams.spawn("server"),
             costs=costs,
             config=config,
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         inventory = self.server.inventory
         self.datacenter = inventory.create(Datacenter, name="dc")
@@ -847,6 +856,12 @@ def experiment_x2_stats_tax(seed: int = 0, quick: bool = False) -> ExperimentRes
     Periodic per-host stats collection is the control plane's always-on
     load. Sweeping the stats level under a fixed linked-clone storm shows
     monitoring fidelity competing directly with provisioning throughput.
+
+    The modeled stats load itself is read back through the telemetry
+    scraper: the collector's ``rows`` counter is watched, scraped into
+    roll-up windows, and the reported rows/s comes from the roll-up sums
+    — the same windowing the modeled vCenter hierarchy applies, one
+    implementation serving both the model and its observation.
     """
     from repro.controlplane.stats_sync import StatsCollector
 
@@ -861,7 +876,9 @@ def experiment_x2_stats_tax(seed: int = 0, quick: bool = False) -> ExperimentRes
             hosts=16,
             datastores=4,
             config=ControlPlaneConfig(db_connections=4),
+            telemetry=True,
         )
+        rig.telemetry.start()
         if level > 0:
             collector = StatsCollector(rig.server, interval_s=5.0, level=level)
             collector.start(until=36_000.0)
@@ -869,22 +886,38 @@ def experiment_x2_stats_tax(seed: int = 0, quick: bool = False) -> ExperimentRes
         tph = outcome["throughput_per_hour"]
         if baseline is None:
             baseline = tph
+        elapsed = rig.sim.now
+        rows_series = rig.telemetry.rollups.get(
+            f'{rig.server.name}.stats.rows{{component="statsd"}}'
+        )
+        scraped_rows = (
+            rows_series.trailing(elapsed, elapsed).sum if rows_series else 0.0
+        )
         rows.append(
             [
                 level,
                 f"{tph:.0f}",
                 f"{tph / baseline:.2f}x",
                 f"{rig.server.database.utilization():.2f}",
+                f"{scraped_rows / elapsed if elapsed else 0.0:.1f}",
             ]
         )
         series.append((level, tph))
     return ExperimentResult(
         exp_id="R-X2",
         title="Provisioning throughput vs stats-collection level (extension)",
-        headers=["stats level", "clones/hour", "vs no stats", "db utilization"],
+        headers=[
+            "stats level",
+            "clones/hour",
+            "vs no stats",
+            "db utilization",
+            "stats rows/s (scraped)",
+        ],
         rows=rows,
         series={"clones/hour": series},
-        notes="Richer monitoring (level 4 = 27x rows) erodes provisioning headroom.",
+        notes="Richer monitoring (level 4 = 27x rows) erodes provisioning "
+        "headroom. The rows/s column is read from the telemetry scraper's "
+        "roll-ups, not the raw counter.",
     )
 
 
@@ -1197,6 +1230,267 @@ def experiment_f_phase(
     )
 
 
+# --------------------------------------------------------------------------
+# R-F-alerts — burn-rate alert timeline under the standard fault schedule.
+# --------------------------------------------------------------------------
+
+
+def experiment_f_alerts(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-F-alerts: SLO burn-rate alerts vs injected faults (observability).
+
+    The R-X3 ``full``-resilience deploy storm re-run with the live
+    telemetry pipeline attached: the scraper samples every control-plane
+    registry on a 5 s cadence into roll-up windows, and multi-window
+    burn-rate rules (deploy latency p99, task goodput, dead letters,
+    admission shedding) are evaluated on every scrape — all on simulated
+    time. For each injected fault window the exhibit reports the first
+    alert that covered it and the detection lead time relative to the
+    fault's goodput trough (the worst 60 s completion-rate window).
+
+    Acceptance: every injected fault is surfaced by at least one
+    burn-rate alert at or before its goodput trough (lead >= 0).
+    """
+    from repro.cloud.api import AdmissionShed, ApiGateway
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization, User
+    from repro.controlplane.resilience import (
+        BreakerPolicy,
+        RetryPolicy,
+        TaskDeadlineExceeded,
+    )
+    from repro.faults import FaultInjector, FaultTargets, standard_fault_schedule
+    from repro.faults.errors import InjectedFault, ShardUnavailable, TransientError
+    from repro.operations.base import OperationError
+    from repro.sim.events import AllOf
+    from repro.telemetry.slo import BurnWindow, LatencyRule, RatioRule
+
+    duration_s = 600.0 if quick else 1500.0
+    arrival_rate = 1.6
+    fault_scale = 1.5
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=20.0)
+
+    replace_policy = RetryPolicy(
+        max_attempts=6,
+        base_backoff_s=2.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=30.0,
+        jitter=0.5,
+        retry_on=(TransientError, OperationError, TaskDeadlineExceeded),
+    )
+    in_place_policy = RetryPolicy(
+        max_attempts=3,
+        base_backoff_s=1.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=15.0,
+        jitter=0.5,
+        retry_on=(InjectedFault, ShardUnavailable),
+    )
+    config = ControlPlaneConfig(
+        retry_policy=in_place_policy,
+        retry_budget_ratio=0.2,
+        task_deadline_s=240.0,
+        breaker=BreakerPolicy(failure_threshold=3, cooldown_s=45.0, half_open_probes=1),
+    )
+
+    rig = StormRig(
+        seed=seed,
+        hosts=16,
+        datastores=4,
+        host_memory_gb=512.0,
+        costs=costs,
+        config=config,
+        telemetry=True,
+        scrape_interval_s=5.0,
+    )
+    server = rig.server
+    telemetry = rig.telemetry
+    catalog = Catalog("cloud-a")
+    item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+    org = Organization("acme", quota_vms=100_000, quota_storage_gb=1e9)
+    director = CloudDirector(
+        server, rig.cluster, rig.library, catalog, retry_policy=replace_policy
+    )
+    gateway = ApiGateway(
+        rig.sim, requests_per_minute=600.0, burst=50.0, telemetry=telemetry
+    )
+    gateway.enable_shedding(lambda: server.tasks.queue_depth, 128.0)
+    session = gateway.login(User("tenant", org))
+
+    # Burn windows sized to the storm timescale: the fast pair catches a
+    # sharp regression within ~1-2 roll-up windows, the slow pair holds
+    # the alert through sustained degradation.
+    windows = (
+        BurnWindow(short_s=60.0, long_s=180.0, threshold=2.0),
+        BurnWindow(short_s=180.0, long_s=600.0, threshold=1.0),
+    )
+    success = 'tasks_completed_total{outcome="success"}'
+    error = 'tasks_completed_total{outcome="error"}'
+    telemetry.add_rule(
+        LatencyRule(
+            name="deploy-latency-p99",
+            objective=0.95,
+            metric="director_deploy_latency_s",
+            threshold_s=60.0,
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="task-goodput",
+            objective=0.98,
+            bad_metric=error,
+            total_metrics=(success, error),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="dead-letter-rate",
+            objective=0.995,
+            bad_metric="tasks_dead_letter_total",
+            total_metrics=(success, error),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="admission-shed-rate",
+            objective=0.98,
+            bad_metric="gateway_shed_total",
+            total_metrics=("gateway_admitted_total", "gateway_shed_total"),
+            windows=windows,
+        )
+    )
+
+    schedule = standard_fault_schedule(duration_s, scale=fault_scale)
+    injector = FaultInjector(
+        rig.sim,
+        FaultTargets.for_server(server),
+        schedule,
+        rng=rig.streams.stream("fault-injector"),
+    ).start()
+    telemetry.start()
+
+    requests: list = []
+
+    def one_request(index: int) -> typing.Generator:
+        try:
+            yield from gateway.admit(session)
+        except AdmissionShed:
+            return
+        yield from director.deploy(
+            DeployRequest(org=org, item=item, vm_count=1, vapp_name=f"req{index}")
+        )
+
+    def arrivals() -> typing.Generator:
+        rng = rig.streams.stream("arrivals")
+        index = 0
+        while rig.sim.now < duration_s:
+            yield rig.sim.timeout(rng.expovariate(arrival_rate))
+            if rig.sim.now >= duration_s:
+                break
+            requests.append(rig.sim.spawn(one_request(index), name=f"req-{index}"))
+            index += 1
+
+    source = rig.sim.spawn(arrivals(), name="arrivals")
+    rig.sim.run(until=source)
+    if requests:
+        rig.sim.run(until=AllOf(rig.sim, requests))
+    rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
+    telemetry.stop()
+
+    # Goodput trough per fault: the worst 60 s success-completion window
+    # overlapping the fault (extended one window for trailing effects).
+    success_series = telemetry.rollups[success]
+    goodput_windows = success_series.windows(level=0)
+    fires = [event for event in telemetry.monitor.timeline if event.kind == "fire"]
+    rows = []
+    covered = 0
+    for spec in schedule.specs:
+        candidates = [
+            window
+            for window in goodput_windows
+            if window.end > spec.start_s and window.start < spec.end_s + 60.0
+        ]
+        trough = min(candidates, key=lambda window: (window.sum, window.start))
+        trough_time = trough.start + trough.width / 2.0
+        covering = [
+            event
+            for event in fires
+            if event.time <= trough_time
+            and _alert_interval(telemetry, event).intersects(spec.start_s, trough_time)
+        ]
+        first = min(covering, key=lambda event: event.time) if covering else None
+        if first is not None:
+            covered += 1
+        rows.append(
+            [
+                spec.kind,
+                f"{spec.start_s:.0f}-{spec.end_s:.0f}",
+                f"{trough_time:.0f}",
+                f"{trough.rate * 3600.0:.0f}",
+                first.rule if first is not None else "(none)",
+                f"{first.time:.0f}" if first is not None else "-",
+                f"{trough_time - first.time:+.0f}" if first is not None else "-",
+            ]
+        )
+
+    series = {
+        "task goodput (successes/hour, 60s windows)": [
+            (window.start, window.rate * 3600.0) for window in goodput_windows
+        ],
+        "deploy latency p99 (s, 60s windows)": [
+            (window.start, window.p(0.99))
+            for window in telemetry.rollups["director_deploy_latency_s"].windows(0)
+        ],
+    }
+    timeline = telemetry.monitor.render_timeline()
+    notes = (
+        f"{covered}/{len(schedule.specs)} fault windows surfaced by a "
+        f"burn-rate alert before their goodput trough; "
+        f"{len(fires)} alert firings over {telemetry.scraper.scrapes} scrapes.\n"
+        "alert timeline:\n  " + "\n  ".join(timeline)
+    )
+    return ExperimentResult(
+        exp_id="R-F-alerts",
+        title="Burn-rate alert timeline under the standard fault schedule",
+        headers=[
+            "fault",
+            "window (s)",
+            "trough (s)",
+            "trough goodput/h",
+            "first alert",
+            "fired (s)",
+            "lead (s)",
+        ],
+        rows=rows,
+        series=series,
+        notes=notes,
+    )
+
+
+class _AlertInterval:
+    """Half-open firing interval of one alert, for coverage tests."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float) -> None:
+        self.start = start
+        self.end = end
+
+    def intersects(self, lo: float, hi: float) -> bool:
+        return self.start <= hi and self.end >= lo
+
+
+def _alert_interval(telemetry, fire_event) -> _AlertInterval:
+    for alert in telemetry.monitor.alerts:
+        if alert.rule == fire_event.rule and alert.fired_at == fire_event.time:
+            end = alert.resolved_at if alert.resolved_at is not None else float("inf")
+            return _AlertInterval(alert.fired_at, end)
+    return _AlertInterval(fire_event.time, float("inf"))
+
+
 EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-T1": experiment_t1_setups,
     "R-T2": experiment_t2_opmix,
@@ -1212,6 +1506,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-F9": experiment_f9_shards,
     "R-F10": experiment_f10_lifetimes,
     "R-F-phase": experiment_f_phase,
+    "R-F-alerts": experiment_f_alerts,
     "R-X1": experiment_x1_restart_storm,
     "R-X2": experiment_x2_stats_tax,
     "R-X3": experiment_x3_fault_goodput,

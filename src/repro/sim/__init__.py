@@ -27,6 +27,7 @@ from repro.sim.stats import (
     Gauge,
     Histogram,
     LatencyRecorder,
+    LogHistogram,
     MetricsRegistry,
     TimeSeries,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Histogram",
     "Interrupt",
     "LatencyRecorder",
+    "LogHistogram",
     "MetricsRegistry",
     "PriorityResource",
     "Process",

@@ -17,6 +17,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 class Counter:
     """A monotonically increasing count (events, bytes, errors)."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
@@ -35,6 +37,8 @@ class Gauge:
     Tracks queue depths and utilization. ``set``/``add`` record the level at
     the current simulated time; :meth:`time_average` integrates it.
     """
+
+    __slots__ = ("sim", "name", "value", "maximum", "_area", "_stamp", "_samples")
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
@@ -89,6 +93,8 @@ class Gauge:
 
 class LatencyRecorder:
     """A bag of duration samples with percentile queries."""
+
+    __slots__ = ("name", "_sorted", "_sum")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -152,6 +158,8 @@ class LatencyRecorder:
 class Histogram:
     """Fixed-bin histogram for bounded quantities (e.g. chain depth)."""
 
+    __slots__ = ("name", "edges", "counts", "underflow", "overflow")
+
     def __init__(self, name: str, edges: typing.Sequence[float]) -> None:
         if list(edges) != sorted(edges) or len(edges) < 2:
             raise ValueError("edges must be a sorted sequence of >= 2 values")
@@ -176,8 +184,163 @@ class Histogram:
         return sum(self.counts) + self.underflow + self.overflow
 
 
+#: Default growth factor for :class:`LogHistogram` buckets — four buckets
+#: per octave, so any quantile estimate is within ~9% relative error.
+LOG_HISTOGRAM_BASE = 2.0 ** 0.25
+
+
+class LogHistogram:
+    """Fixed-log-bucket histogram: a mergeable latency sketch.
+
+    Bucket ``i`` covers ``[base**i, base**(i+1))``; recording keeps only a
+    sparse ``{bucket index: count}`` map plus exact count/sum/min/max, so
+    memory is bounded by the dynamic range (a few dozen buckets for
+    second-scale latencies) rather than the sample count. Two histograms
+    with the same base merge exactly (bucket-wise addition), which is what
+    lets scrape-window rollups collapse into coarser windows without
+    revisiting raw samples.
+    """
+
+    __slots__ = ("name", "base", "zeros", "_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str = "", base: float = LOG_HISTOGRAM_BASE) -> None:
+        if not base > 1.0:
+            raise ValueError(f"base must be > 1, got {base!r}")
+        self.name = name
+        self.base = base
+        self.zeros = 0
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def _index(self, value: float) -> int:
+        index = math.floor(math.log(value) / math.log(self.base))
+        # Repair float drift so base**index <= value < base**(index+1).
+        if self.base ** index > value:
+            index -= 1
+        elif self.base ** (index + 1) <= value:
+            index += 1
+        return index
+
+    def record(self, value: float, count: int = 1) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name!r} value must be finite, got {value!r}")
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} value must be >= 0, got {value!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count!r}")
+        if value == 0.0:
+            self.zeros += count
+        else:
+            index = self._index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count += count
+        self._sum += value * count
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (in place); returns self."""
+        if other.base != self.base:
+            raise ValueError(
+                f"cannot merge histograms with bases {self.base!r} and {other.base!r}"
+            )
+        self.zeros += other.zeros
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def copy(self) -> "LogHistogram":
+        out = LogHistogram(self.name, base=self.base)
+        out.merge(self)
+        return out
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """The [low, high) value range of bucket ``index``."""
+        return (self.base ** index, self.base ** (index + 1))
+
+    def quantile_bounds(self, fraction: float) -> tuple[float, float]:
+        """Bounds containing the true ``fraction`` sample quantile.
+
+        The exact min/max tighten the edge buckets, so the interval never
+        extends past observed extremes.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if self._count == 0:
+            return (0.0, 0.0)
+        # Rank of the quantile sample under linear ordering (1-based).
+        rank = max(1, math.ceil(fraction * self._count))
+        if rank <= self.zeros:
+            return (0.0, 0.0)
+        seen = self.zeros
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                low, high = self.bucket_bounds(index)
+                return (max(low, self._min), min(high, self._max))
+        return (self._max, self._max)  # pragma: no cover - rank <= count always hits
+
+    def quantile(self, fraction: float) -> float:
+        """Point estimate: the upper bound of the quantile's bucket."""
+        return self.quantile_bounds(fraction)[1]
+
+    def count_at_or_above(self, threshold: float) -> int:
+        """Samples with value >= ``threshold`` (bucket-resolution upper bound).
+
+        Any bucket whose range straddles the threshold is counted entirely,
+        so the estimate errs toward "bad" — the conservative direction for
+        SLO accounting.
+        """
+        if threshold <= 0:
+            return self._count
+        if self._count == 0 or threshold > self._max:
+            return 0
+        cut = self._index(threshold)
+        return sum(count for index, count in self._buckets.items() if index >= cut)
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Sorted (bucket upper bound, count) pairs, zeros bucket first."""
+        out: list[tuple[float, int]] = []
+        if self.zeros:
+            out.append((0.0, self.zeros))
+        out.extend(
+            (self.base ** (index + 1), self._buckets[index])
+            for index in sorted(self._buckets)
+        )
+        return out
+
+
 class TimeSeries:
     """Values binned into fixed-width time buckets (for rate plots)."""
+
+    __slots__ = ("name", "bin_width", "_bins")
 
     def __init__(self, name: str, bin_width: float) -> None:
         if bin_width <= 0:
@@ -187,9 +350,14 @@ class TimeSeries:
         self._bins: dict[int, float] = {}
 
     def record(self, time: float, amount: float = 1.0) -> None:
-        self._bins[int(time // self.bin_width)] = (
-            self._bins.get(int(time // self.bin_width), 0.0) + amount
-        )
+        if not math.isfinite(time):
+            raise ValueError(f"timeseries {self.name!r} time must be finite, got {time!r}")
+        if not math.isfinite(amount):
+            raise ValueError(
+                f"timeseries {self.name!r} amount must be finite, got {amount!r}"
+            )
+        index = int(time // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0.0) + amount
 
     def bins(self) -> list[tuple[float, float]]:
         """Sorted (bin start time, total) pairs, gaps filled with zero."""
@@ -205,6 +373,8 @@ class TimeSeries:
 
 class MetricsRegistry:
     """A namespace of metrics owned by one model component."""
+
+    __slots__ = ("sim", "prefix", "_metrics")
 
     def __init__(self, sim: "Simulator", prefix: str = "") -> None:
         self.sim = sim
@@ -225,6 +395,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, edges: typing.Sequence[float]) -> Histogram:
         return self._get(name, lambda key: Histogram(key, edges))
+
+    def log_histogram(self, name: str, base: float = LOG_HISTOGRAM_BASE) -> LogHistogram:
+        return self._get(name, lambda key: LogHistogram(key, base=base))
 
     def timeseries(self, name: str, bin_width: float) -> TimeSeries:
         return self._get(name, lambda key: TimeSeries(key, bin_width))

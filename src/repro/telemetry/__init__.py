@@ -1,0 +1,81 @@
+"""Live telemetry pipeline: metric families, scraper, roll-ups, SLO alerts.
+
+The observability layer for the reproduced control plane, modeled on the
+paper's observation that the management server's statistics pipeline is
+itself a major database workload. Four pieces:
+
+- :mod:`~repro.telemetry.metrics` — labeled families (counter / gauge /
+  log-bucket histogram), read-only probes, and the :class:`Telemetry`
+  hub; :data:`NULL_TELEMETRY` keeps the disabled path allocation-free.
+- :mod:`~repro.telemetry.scraper` — a sim-process snapshotting every
+  registry on a cadence into bounded roll-up time-series.
+- :mod:`~repro.telemetry.rollup` — vCenter-style multi-level windowed
+  roll-ups (min/mean/max/p99 per window, fold-up retention).
+- :mod:`~repro.telemetry.slo` — multi-window burn-rate SLO rules and the
+  alert timeline; :mod:`~repro.telemetry.export` and
+  :mod:`~repro.telemetry.dashboard` render the results.
+"""
+
+from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.export import (
+    alerts_jsonl,
+    prometheus_text,
+    rollups_jsonl,
+    write_alerts,
+    write_prometheus,
+    write_rollups,
+)
+from repro.telemetry.metrics import (
+    NULL_METRIC,
+    NULL_TELEMETRY,
+    MetricFamily,
+    NullMetric,
+    NullTelemetry,
+    Probe,
+    Telemetry,
+    format_metric_id,
+)
+from repro.telemetry.rollup import DEFAULT_RETENTION, RollupSeries, Window, merge_windows
+from repro.telemetry.scraper import Scraper
+from repro.telemetry.slo import (
+    DEFAULT_BURN_WINDOWS,
+    Alert,
+    AlertEvent,
+    BurnWindow,
+    LatencyRule,
+    RatioRule,
+    SloMonitor,
+    SloRule,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEvent",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "DEFAULT_RETENTION",
+    "LatencyRule",
+    "MetricFamily",
+    "NULL_METRIC",
+    "NULL_TELEMETRY",
+    "NullMetric",
+    "NullTelemetry",
+    "Probe",
+    "RatioRule",
+    "RollupSeries",
+    "Scraper",
+    "SloMonitor",
+    "SloRule",
+    "Telemetry",
+    "Window",
+    "alerts_jsonl",
+    "format_metric_id",
+    "merge_windows",
+    "prometheus_text",
+    "render_dashboard",
+    "rollups_jsonl",
+    "sparkline",
+    "write_alerts",
+    "write_prometheus",
+    "write_rollups",
+]
