@@ -158,3 +158,24 @@ def test_storm_telemetry_off_throughput(benchmark):
     """48 linked clones, concurrency 12, NULL_TELEMETRY instrumentation."""
     completed = benchmark(run_storm_telemetry_off, 48, 12)
     assert completed == 48
+
+
+def run_storm_journal_on(total, concurrency):
+    """The same clone storm with the write-ahead task journal enabled.
+
+    The journal appends three records per task synchronously (no sim
+    events), so its cost is pure Python overhead on the task lifecycle
+    hot path. This rate bounds what durability costs a crash-free run.
+    """
+    from repro.core.experiments import StormRig
+
+    rig = StormRig(seed=0, hosts=8, datastores=2, journal=True)
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=True)
+    assert len(rig.server.journal) >= 3 * total
+    return int(summary["completed"])
+
+
+def test_storm_journal_on_throughput(benchmark):
+    """48 linked clones, concurrency 12, task journal recording."""
+    completed = benchmark(run_storm_journal_on, 48, 12)
+    assert completed == 48

@@ -1,0 +1,34 @@
+"""R-X4 (extension): crash recovery — MTTR and goodput vs server downtime.
+
+A clone storm with the task journal on is crashed at several points and
+downtime levels, then measured against the identical no-crash baseline.
+Expected shape: every admitted clone still lands in exactly one terminal
+state (nothing lost, nothing duplicated), MTTR grows with downtime, and
+goodput degrades from the baseline as downtime stretches.
+"""
+
+
+def test_bench_x4_crash_mttr(exhibit):
+    result = exhibit("R-X4")
+
+    baseline = result.rows[0]
+    assert baseline[0] == "none"
+    crash_rows = result.rows[1:]
+    assert crash_rows
+    total = int(baseline[2])
+    for row in crash_rows:
+        completed, dead = int(row[2]), int(row[3])
+        # Exactly-once: every clone completes despite the crash, none die.
+        assert completed == total
+        assert dead == 0
+        assert int(row[4]) > 0  # the crash actually parked in-flight work
+        assert float(row[-1]) > 0.0  # and MTTR was measurable
+
+    mttr = dict(result.series["MTTR (s) vs downtime (s)"])
+    goodput = dict(result.series["goodput (clones/h) vs downtime (s)"])
+    downtimes = sorted(mttr)
+    assert len(downtimes) >= 2
+    # More downtime -> longer recovery, less goodput.
+    assert mttr[downtimes[0]] < mttr[downtimes[-1]]
+    assert goodput[downtimes[0]] > goodput[downtimes[-1]]
+    assert all(value < float(baseline[8]) for value in goodput.values())

@@ -8,6 +8,9 @@ Commands:
 - ``storm`` — a one-off clone storm with explicit knobs.
 - ``faults`` — a deploy storm under the standard fault schedule, with
   the fault timeline and resilience outcome printed.
+- ``recover`` — a clone storm with a management-server crash at a chosen
+  point: journal replay, reconciliation verdicts, MTTR, and the
+  exactly-once invariant check printed.
 - ``trace`` — a traced clone storm: per-phase attribution and the
   critical path printed, span tree exportable as Chrome trace JSON
   (load in ``chrome://tracing`` / Perfetto) or JSONL.
@@ -91,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
     faults_cmd.add_argument("--seed", type=int, default=0)
     faults_cmd.add_argument("--no-resilience", action="store_true",
                             help="disable retries/breakers/deadlines")
+
+    recover_cmd = sub.add_parser(
+        "recover", help="clone storm with a server crash: journal replay demo"
+    )
+    recover_cmd.add_argument("--clones", type=int, default=12)
+    recover_cmd.add_argument("--concurrency", type=int, default=4)
+    recover_cmd.add_argument("--full", action="store_true",
+                             help="full clones (default linked)")
+    recover_cmd.add_argument("--crash-at", type=float, default=10.0,
+                             help="crash time in sim seconds")
+    recover_cmd.add_argument("--downtime", type=float, default=30.0,
+                             help="server downtime in sim seconds")
+    recover_cmd.add_argument("--seed", type=int, default=0)
 
     trace_cmd = sub.add_parser(
         "trace", help="traced clone storm: phase attribution + critical path"
@@ -213,7 +229,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
     from repro.controlplane.costs import ControlPlaneConfig, DEFAULT_COSTS
     from repro.controlplane.resilience import BreakerPolicy, NO_RETRY, RetryPolicy
     from repro.datacenter.templates import MEDIUM_LINUX
-    from repro.faults import FaultInjector, FaultTargets, standard_fault_schedule
+    from repro.faults import (
+        FaultInjector,
+        FaultTargets,
+        SPEC_KINDS,
+        standard_fault_schedule,
+    )
     from repro.sim.events import AllOf
 
     costs = _dc.replace(DEFAULT_COSTS, host_call_timeout_s=20.0)
@@ -272,7 +293,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         rig.sim.run(until=AllOf(rig.sim, requests))
     rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
 
-    print("fault timeline:")
+    print(f"fault kinds: {', '.join(sorted(SPEC_KINDS))}")
+    print("\nfault timeline:")
     for line in injector.timeline():
         print(f"  {line}")
     tasks = rig.server.tasks
@@ -289,6 +311,72 @@ def cmd_faults(args: argparse.Namespace) -> int:
     print(f"task retries:  {int(tasks.metrics.counter('retries').value)}")
     print(f"dead letters:  {len(tasks.dead_letters)}")
     print(f"unaccounted:   {len(tasks.unaccounted())}")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.controlplane.costs import ControlPlaneConfig
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.faults import FaultInjector, FaultSchedule, FaultTargets, ServerCrash
+    from repro.faults.chaos import check_exactly_once
+
+    if args.crash_at <= 0 or args.downtime <= 0:
+        print("error: --crash-at and --downtime must be positive", file=sys.stderr)
+        return 2
+    config = ControlPlaneConfig(
+        max_inflight_tasks=max(1, args.concurrency - 1),
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, max_backoff_s=10.0, jitter=0.5
+        ),
+    )
+    rig = StormRig(
+        seed=args.seed, hosts=8, datastores=2, config=config, journal=True
+    )
+    injector = FaultInjector(
+        rig.sim,
+        FaultTargets.for_server(rig.server),
+        FaultSchedule(
+            [ServerCrash(start_s=args.crash_at, duration_s=args.downtime, count=1)]
+        ),
+        rng=rig.streams.stream("recover-injector"),
+    ).start()
+    outcome = rig.closed_loop_storm(
+        args.clones, args.concurrency, linked=not args.full
+    )
+    rig.sim.run(until=rig.sim.spawn(injector.drain(), name="recover-drain"))
+    rig.sim.run()
+
+    mode = "full" if args.full else "linked"
+    tasks = rig.server.tasks
+    journal = rig.server.journal
+    print(
+        f"{mode} storm: {outcome['completed']} clones in "
+        f"{outcome['makespan_s']:.0f}s with a crash at {args.crash_at:.0f}s "
+        f"({args.downtime:.0f}s down)"
+    )
+    print(
+        f"journal: {len(journal)} records "
+        f"({len(journal.terminal_counts())} terminal, "
+        f"{len(journal.open_task_ids())} open)"
+    )
+    for index, epoch in enumerate(rig.server.recovery.crashes):
+        print(
+            f"crash #{index + 1} at {epoch.crashed_at:.1f}s: "
+            f"{epoch.interrupted} in-flight interrupted, {epoch.parked} parked; "
+            f"restart at {epoch.restarted_at:.1f}s replayed "
+            f"{epoch.replayed_records} records in {epoch.replay_s:.2f}s — "
+            f"adopted {epoch.adopted}, rolled back {epoch.rolled_back}, "
+            f"reissued {epoch.reissued}, requeued {epoch.requeued}"
+        )
+    print(f"dead letters:  {len(tasks.dead_letters)}")
+    print(f"unaccounted:   {len(tasks.unaccounted())}")
+    violations = check_exactly_once(rig.server)
+    if violations:
+        print("exactly-once VIOLATED:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("exactly-once invariant: held")
     return 0
 
 
@@ -500,6 +588,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "storm": cmd_storm,
     "sweep": cmd_sweep,
     "faults": cmd_faults,
+    "recover": cmd_recover,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "list": cmd_list,

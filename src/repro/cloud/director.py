@@ -26,7 +26,7 @@ from repro.sim.events import AllOf
 from repro.sim.stats import MetricsRegistry
 from repro.controlplane.resilience import RetryPolicy
 from repro.controlplane.server import ManagementServer
-from repro.faults.errors import TransientError
+from repro.faults.errors import ServerCrashed, TransientError
 from repro.storage.copy_engine import CopyFailed
 from repro.tracing import PHASE_REQUEST, PHASE_RETRY
 
@@ -258,15 +258,19 @@ class CloudDirector:
             )
             vm_span.annotate("host", host.name)
             vm_span.annotate("attempts", attempt + 1)
-            process = self.server.submit(operation, span=vm_span)
             try:
+                # submit raises ServerCrashed synchronously while the
+                # management server is down — same retry path as a task
+                # that failed mid-flight.
+                process = self.server.submit(operation, span=vm_span)
                 task = yield process
             except Exception as error:
                 # Attribute the failure to the resource that caused it:
-                # a copy fault is pinned to the datastore, not the host.
+                # a copy fault is pinned to the datastore, not the host;
+                # a server crash indicts neither.
                 if isinstance(error, CopyFailed):
                     excluded_ds.add(datastore.entity_id)
-                else:
+                elif not isinstance(error, ServerCrashed):
                     excluded.add(host.entity_id)
                 if attempt + 1 >= policy.max_attempts or not policy.retryable(error):
                     return None

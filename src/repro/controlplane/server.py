@@ -18,7 +18,7 @@ import typing
 
 from repro.datacenter.entities import Datastore, Host
 from repro.datacenter.inventory import Inventory
-from repro.faults.errors import ShardUnavailable
+from repro.faults.errors import ServerCrashed, ShardUnavailable
 from repro.faults.hooks import FaultHook
 from repro.sim.kernel import Process, Simulator
 from repro.sim.random import RandomStreams, bounded, lognormal_from_median
@@ -30,6 +30,7 @@ from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFA
 from repro.controlplane.database import DatabaseModel
 from repro.controlplane.host_agent import HostAgent
 from repro.controlplane.locks import LockManager
+from repro.controlplane.recovery import NULL_JOURNAL, RecoveryManager
 from repro.controlplane.resilience import (
     BREAKER_STATE_VALUE,
     CircuitBreaker,
@@ -56,6 +57,7 @@ class ManagementServer:
         storage_capacity_bps: float | None = None,
         tracer=None,
         telemetry=None,
+        journal=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -123,6 +125,16 @@ class ManagementServer:
         self.faults = FaultHook(sim, name=name, error_factory=ShardUnavailable)
         self.event_log = None
         self.started_at = sim.now
+        # Crash recovery: the write-ahead task journal (NULL_JOURNAL = off)
+        # and the restart reconciler. ServerCrash windows call crash() /
+        # restart(); in-flight task processes are interrupted on crash and
+        # park in the recovery manager until the journal replays.
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.recovery = RecoveryManager(self)
+        self.tasks.journal = self.journal
+        self.tasks.recovery = self.recovery
+        self._crash_tokens: set = set()
+        self._inflight: set[Process] = set()
         self._register_telemetry()
 
     def _register_telemetry(self) -> None:
@@ -152,6 +164,10 @@ class ManagementServer:
             telemetry.probe(
                 "retry_budget_tokens", lambda: float(self.retry_budget.tokens)
             )
+        telemetry.probe("server_crashed", lambda: 1.0 if self.crashed else 0.0)
+        telemetry.probe(
+            "recovery_parked", lambda: float(self.recovery.parked_count)
+        )
 
     def enable_event_logging(
         self,
@@ -267,6 +283,43 @@ class ManagementServer:
             return 0.0
         return min(1.0, self._cpu_busy / (span * self.cpu.capacity))
 
+    # -- crash / restart -----------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """True while at least one :class:`ServerCrash` window holds us down."""
+        return bool(self._crash_tokens)
+
+    def crash(self, token: typing.Hashable) -> None:
+        """Take the server down (fault-window arm).
+
+        The first active token interrupts every in-flight task process with
+        :class:`ServerCrashed` — generators unwind, releasing CPU workers,
+        DB connections, and agent slots, and the task manager parks each
+        task in the recovery manager. New submissions are rejected until
+        :meth:`restart`. Overlapping windows nest: the server is up again
+        only when the last token is released.
+        """
+        first = not self._crash_tokens
+        self._crash_tokens.add(token)
+        if not first:
+            return
+        victims = [p for p in self._inflight if p.is_alive]
+        self.metrics.counter("crashes").add()
+        self.recovery.on_crash(interrupted=len(victims))
+        for process in victims:
+            process.interrupt(ServerCrashed(f"{self.name} crashed"))
+
+    def restart(self, token: typing.Hashable) -> None:
+        """Bring the server back up (fault-window disarm).
+
+        When the last crash token clears, the recovery manager replays the
+        journal and reconciles every parked task.
+        """
+        self._crash_tokens.discard(token)
+        if not self._crash_tokens:
+            self.recovery.on_restart()
+
     # -- operation submission ------------------------------------------------------
 
     def submit(
@@ -281,8 +334,11 @@ class ManagementServer:
         """
 
         def lifecycle() -> typing.Generator[typing.Any, typing.Any, Task]:
-            # A crashed shard rejects the submission outright — no task row,
-            # no dispatch slot, just a failed process.
+            # A crashed server or shard rejects the submission outright — no
+            # task row, no dispatch slot, just a failed process. ServerCrashed
+            # is transient: the caller may resubmit after the restart.
+            if self.crashed:
+                raise ServerCrashed(f"{self.name} is down")
             self.faults.fire()
             holder: dict[str, Task] = {}
 
@@ -291,11 +347,22 @@ class ManagementServer:
                 yield from operation.run(self, task)
 
             yield from self.tasks.run_task(
-                operation.op_type.value, body, priority=priority, parent_span=span
+                operation.op_type.value,
+                body,
+                priority=priority,
+                parent_span=span,
+                operation=operation,
             )
             return holder["task"]
 
-        return self.sim.spawn(lifecycle(), name=f"{self.name}:{operation.op_type.value}")
+        process = self.sim.spawn(
+            lifecycle(), name=f"{self.name}:{operation.op_type.value}"
+        )
+        # Track the lifecycle so a ServerCrash window can interrupt it;
+        # drop the reference as soon as the process finishes.
+        self._inflight.add(process)
+        process.callbacks.append(lambda _event: self._inflight.discard(process))
+        return process
 
     def execute(self, operation: "Operation", priority: float = 5.0) -> Process:
         """Alias of :meth:`submit` (reads better at call sites that wait)."""

@@ -28,6 +28,12 @@ from repro.sim.kernel import Simulator
 from repro.sim.resources import PriorityResource
 from repro.sim.stats import MetricsRegistry
 from repro.controlplane.database import DatabaseModel
+from repro.controlplane.recovery import (
+    NULL_JOURNAL,
+    VERDICT_ADOPT,
+    VERDICT_FAILED,
+    crash_cause,
+)
 from repro.controlplane.resilience import (
     DeadLetter,
     RetryBudget,
@@ -74,6 +80,9 @@ class Task:
     # Current tracing span for the task's work (the root span outside
     # attempts, the attempt span while a body runs; NULL_SPAN untraced).
     span: typing.Any = NULL_SPAN
+    # The submitting operation, when known — crash recovery probes it for
+    # ground truth (repr suppressed: operations back-reference the server).
+    operation: typing.Any = dataclasses.field(default=None, repr=False)
 
     @property
     def queue_wait(self) -> float:
@@ -126,8 +135,15 @@ class TaskManager:
         self.rng = rng or random.Random(0xACE)
         self.tasks: list[Task] = []
         self.dead_letters: list[DeadLetter] = []
+        self._dead_lettered: set[int] = set()
         self._next_id = 0
         self._depth = self.metrics.gauge("queue_depth")
+        # Crash-recovery attachments, wired by ManagementServer after
+        # construction: the write-ahead journal (NULL_JOURNAL = off, the
+        # schedule-neutral default) and the recovery manager that parks
+        # crash-interrupted task processes until the journal replays.
+        self.journal = NULL_JOURNAL
+        self.recovery = None
         # Optional event sink (see controlplane.eventlog); completion posts
         # one event per task, errors at elevated severity.
         self.event_log = None
@@ -146,6 +162,7 @@ class TaskManager:
         body: typing.Callable[[Task], typing.Generator],
         priority: float = 5.0,
         parent_span=NULL_SPAN,
+        operation=None,
     ) -> typing.Generator[typing.Any, typing.Any, Task]:
         """Process-style: run ``body(task)`` under the task lifecycle.
 
@@ -167,6 +184,7 @@ class TaskManager:
             op_type=op_type,
             submitted_at=self.sim.now,
             priority=priority,
+            operation=operation,
         )
         if self.task_deadline_s is not None:
             task.deadline = task.submitted_at + self.task_deadline_s
@@ -204,9 +222,16 @@ class TaskManager:
         try:
             yield from self.database.write(rows=1, span=root_span)
         except Exception as error:
+            # A crash interrupt during the insert means the task was never
+            # admitted: surface ServerCrashed (transient) so the caller may
+            # resubmit — nothing was journaled, so nothing can duplicate.
+            cause = crash_cause(error)
+            if cause is not None:
+                error = cause
             self._fail_terminally(task, error)
             self.metrics.counter("insert_failures").add()
-            raise
+            raise error
+        self.journal.record_admit(task)
         if self.retry_budget is not None:
             self.retry_budget.deposit()
         self._depth.add(1)
@@ -219,20 +244,32 @@ class TaskManager:
         wait_span = root_span.child(
             "task.dispatch_wait", phase=PHASE_QUEUE, tags={"wait": True}
         )
-        try:
-            type_pool = self._type_limits.get(op_type)
-            if type_pool is not None:
-                yield from self._acquire(type_pool, priority, task, granted)
-            yield from self._acquire(self.dispatch, priority, task, granted)
-        except TaskDeadlineExceeded as error:
-            wait_span.finish(error=type(error).__name__)
-            self._depth.add(-1)
-            for pool, request in granted:
-                pool.release(request)
-            self.metrics.counter("deadline_exceeded").add()
-            self._fail_terminally(task, error)
-            yield from self._finalize(task)
-            raise
+        while True:
+            try:
+                type_pool = self._type_limits.get(op_type)
+                if type_pool is not None:
+                    yield from self._acquire(type_pool, priority, task, granted)
+                yield from self._acquire(self.dispatch, priority, task, granted)
+                break
+            except TaskDeadlineExceeded as error:
+                wait_span.finish(error=type(error).__name__)
+                self._depth.add(-1)
+                for pool, request in granted:
+                    pool.release(request)
+                self.metrics.counter("deadline_exceeded").add()
+                self._fail_terminally(task, error)
+                yield from self._finalize(task)
+                raise
+            except Exception as error:
+                # A crash interrupt while queued: the kernel has already
+                # withdrawn the in-flight request; give back any slot we
+                # did win, park until the journal replays, then requeue.
+                if crash_cause(error) is None:
+                    raise
+                for pool, request in granted:
+                    pool.release(request)
+                granted.clear()
+                yield from self._park(task, "dispatch")
         wait_span.finish()
         self._depth.add(-1)
         task.state = TaskState.RUNNING
@@ -240,6 +277,7 @@ class TaskManager:
         try:
             while True:
                 task.attempts += 1
+                self.journal.record_dispatch(task, task.attempts)
                 attempt_span = root_span.child(
                     f"attempt-{task.attempts}", phase=PHASE_TASK
                 )
@@ -249,6 +287,18 @@ class TaskManager:
                         yield from body(task)
                     except Exception as error:
                         attempt_span.finish(error=type(error).__name__)
+                        cause = crash_cause(error)
+                        if cause is not None:
+                            # The server crashed mid-attempt. Park until the
+                            # journal replays; the verdict says whether the
+                            # half-done work survived. A re-issue does not
+                            # consume retry budget — the crash was the
+                            # server's fault, not the attempt's.
+                            verdict = yield from self._park(task, "attempt")
+                            if self._settle(task, verdict, cause):
+                                break
+                            self.metrics.counter("crash_reissues").add()
+                            continue
                         delay = self._retry_delay(task, error)
                         if delay is None:
                             task.state = TaskState.ERROR
@@ -264,7 +314,21 @@ class TaskManager:
                                 phase=PHASE_RETRY,
                                 tags={"wait": True},
                             )
-                            yield self.sim.timeout(delay)
+                            try:
+                                yield self.sim.timeout(delay)
+                            except Exception as backoff_error:
+                                cause = crash_cause(backoff_error)
+                                if cause is None:
+                                    backoff_span.finish(
+                                        error=type(backoff_error).__name__
+                                    )
+                                    raise
+                                backoff_span.finish(error=type(cause).__name__)
+                                verdict = yield from self._park(task, "backoff")
+                                if self._settle(task, verdict, cause):
+                                    break
+                                self.metrics.counter("crash_reissues").add()
+                                continue
                             backoff_span.finish()
                     else:
                         attempt_span.finish()
@@ -309,6 +373,40 @@ class TaskManager:
                 )
         granted.append((pool, request))
 
+    def _park(self, task: Task, stage: str) -> typing.Generator[typing.Any, typing.Any, str]:
+        """Wait out a crash window; return the reconciliation verdict."""
+        if self.recovery is None:
+            raise RuntimeError(
+                f"task {task.task_id} crash-interrupted but no recovery "
+                f"manager is attached"
+            )
+        self.metrics.counter("crash_parked").add()
+        verdict = yield from self.recovery.park(task, stage)
+        return verdict
+
+    def _settle(self, task: Task, verdict: str, cause: BaseException) -> bool:
+        """Apply a post-replay verdict inside the attempt loop.
+
+        True = task done (orphaned work adopted); False = re-issue the
+        attempt. A ``failed`` verdict (the journal already holds a terminal
+        error record for this task) re-raises the crash cause — the dead
+        letter, if any, was recorded before the crash and is never
+        duplicated (see :meth:`_record_dead_letter`).
+        """
+        if verdict == VERDICT_ADOPT:
+            task.state = TaskState.SUCCESS
+            self.metrics.counter("crash_adopted").add()
+            return True
+        if verdict == VERDICT_FAILED:
+            record = self.journal.terminal_record(task.task_id)
+            task.state = TaskState.ERROR
+            if record is not None and record.error:
+                task.error = record.error
+            else:
+                task.error = f"{type(cause).__name__}: {cause}"
+            raise cause
+        return False
+
     def _retry_delay(self, task: Task, error: BaseException) -> float | None:
         """Backoff before the next attempt, or None to fail terminally."""
         policy = self.retry_policy
@@ -342,9 +440,21 @@ class TaskManager:
         preconditions) pass through as plain task errors for the caller to
         handle — e.g. the cloud director re-places them on another host.
         Without a retry policy there is no promise, hence no dead letters.
+
+        Deduplicated against the journal: a task whose terminal record was
+        already journaled (it died during a crash window and the record
+        survived) must not grow a second dead letter on replay — the
+        journal's terminal record wins.
         """
         if self.retry_policy is None or not self.retry_policy.retryable(error):
             return
+        if (
+            task.task_id in self._dead_lettered
+            or self.journal.terminal_record(task.task_id) is not None
+        ):
+            self.metrics.counter("dead_letter_deduped").add()
+            return
+        self._dead_lettered.add(task.task_id)
         self.dead_letters.append(
             DeadLetter(
                 task_id=task.task_id,
@@ -362,6 +472,12 @@ class TaskManager:
         """Completion row + metrics + event post; never masks the outcome."""
         if task.finished_at is None:
             task.finished_at = self.sim.now
+        # Journal the terminal state ahead of the completion row (it is the
+        # write-ahead record the row makes durable). Idempotent: replay
+        # paths may have journaled it already.
+        self.journal.record_terminal(
+            task, dead_letter=task.task_id in self._dead_lettered
+        )
         # Completion row: state transition + result payload. A faulted
         # database must not turn a finished task's outcome into a new
         # exception — count and move on.
@@ -406,6 +522,24 @@ class TaskManager:
             for t in self.tasks
             if t.state not in (TaskState.SUCCESS, TaskState.ERROR)
         ]
+
+    def assert_accounted(self) -> None:
+        """Hard post-run invariant: every task reached a terminal state.
+
+        Exhibits and the quiescence property call this after their run
+        drains — a lost task fails loudly here instead of silently
+        shrinking goodput.
+        """
+        stranded = self.unaccounted()
+        if stranded:
+            detail = ", ".join(
+                f"task-{t.task_id}({t.op_type}:{t.state.value})"
+                for t in stranded[:10]
+            )
+            more = "" if len(stranded) <= 10 else f" (+{len(stranded) - 10} more)"
+            raise RuntimeError(
+                f"{len(stranded)} unaccounted task(s) after run: {detail}{more}"
+            )
 
     @property
     def queue_depth(self) -> float:

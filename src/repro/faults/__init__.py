@@ -9,7 +9,12 @@ This package must stay import-light: ``repro.controlplane`` and
 ``repro.storage`` import it, so it never imports them at runtime.
 """
 
-from repro.faults.errors import InjectedFault, ShardUnavailable, TransientError
+from repro.faults.errors import (
+    InjectedFault,
+    ServerCrashed,
+    ShardUnavailable,
+    TransientError,
+)
 from repro.faults.hooks import ALL_KEYS, FaultHook
 from repro.faults.injector import FaultEvent, FaultInjector, FaultTargets
 from repro.faults.schedule import (
@@ -20,6 +25,7 @@ from repro.faults.schedule import (
     FaultSchedule,
     FaultSpec,
     HostFlap,
+    ServerCrash,
     ShardCrash,
     SPEC_KINDS,
     random_fault_schedule,
@@ -40,6 +46,8 @@ __all__ = [
     "FaultTargets",
     "HostFlap",
     "InjectedFault",
+    "ServerCrash",
+    "ServerCrashed",
     "ShardCrash",
     "ShardUnavailable",
     "SPEC_KINDS",

@@ -1,0 +1,271 @@
+"""Chaos crash-sweeps: randomized server crashes vs the exactly-once invariant.
+
+The recovery subsystem's contract (``docs/recovery.md``) is that a
+management-server crash at *any* point in *any* workload leaves every
+admitted task in exactly one terminal state — succeeded or failed/dead-
+lettered — with no duplicate terminal records, no duplicate dead letters,
+and no duplicate provisioned VMs. A claim like that is only worth what
+its adversary costs, so this module sweeps randomized crash points
+(timing, downtime, workload seed) and asserts the invariant after every
+run.
+
+Used three ways:
+
+- ``tests/faults/test_crash_sweep.py`` — a bounded sweep in tier-1;
+- CI's chaos job — a larger fixed-seed sweep;
+- ``python -m repro.faults.chaos --seeds 20 --points 10`` — the full
+  acceptance sweep (200 crash points).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.server import ManagementServer
+
+
+def check_exactly_once(server: "ManagementServer") -> list[str]:
+    """Every violation of the exactly-once invariant, as human-readable strings.
+
+    Checks, in order: no task stranded mid-lifecycle; every journaled
+    admit has exactly one journaled terminal record; at most one dead
+    letter per task; every dead letter maps to a task that ended ERROR;
+    and no VM name is placed twice (a re-issued clone must never
+    materialize its VM twice).
+    """
+    violations: list[str] = []
+    tasks = server.tasks
+    for task in tasks.unaccounted():
+        violations.append(
+            f"task-{task.task_id} ({task.op_type}) stranded in {task.state.value}"
+        )
+    journal = server.journal
+    terminal_counts = journal.terminal_counts()
+    for task_id in journal.open_task_ids():
+        violations.append(f"task-{task_id} admitted but never reached a terminal state")
+    for task_id, count in sorted(terminal_counts.items()):
+        if count != 1:
+            violations.append(f"task-{task_id} has {count} terminal records")
+        if journal.enabled and not journal.admitted(task_id):
+            violations.append(f"task-{task_id} reached a terminal state unadmitted")
+    dead_seen: dict[int, int] = {}
+    for letter in tasks.dead_letters:
+        dead_seen[letter.task_id] = dead_seen.get(letter.task_id, 0) + 1
+    failed_ids = {task.task_id for task in tasks.failed()}
+    for task_id, count in sorted(dead_seen.items()):
+        if count > 1:
+            violations.append(f"task-{task_id} dead-lettered {count} times")
+        if task_id not in failed_ids:
+            violations.append(f"task-{task_id} dead-lettered but not in ERROR state")
+    # Ground truth: a clone's target name is its idempotency key, so two
+    # live placed VMs sharing a name means a re-issue duplicated work.
+    from repro.datacenter.vm import VirtualMachine
+
+    placed_names: dict[str, int] = {}
+    for vm in server.inventory.all(VirtualMachine):
+        if vm.host is not None and not vm.is_template:
+            placed_names[vm.name] = placed_names.get(vm.name, 0) + 1
+    for name, count in sorted(placed_names.items()):
+        if count > 1:
+            violations.append(f"VM name {name!r} placed {count} times")
+    return violations
+
+
+@dataclasses.dataclass
+class CrashPointResult:
+    """Outcome of one storm run with one crash window."""
+
+    seed: int
+    crash_at_s: float | None
+    downtime_s: float
+    completed: int
+    failed: int
+    dead_letters: int
+    parked: int
+    adopted: int
+    reissued: int
+    requeued: int
+    makespan_s: float
+    violations: list[str]
+    # Time from the crash until the last pre-crash task reached a terminal
+    # state (0.0 when the crash landed after the backlog drained, or for a
+    # no-crash baseline run).
+    mttr_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_crash_point(
+    seed: int,
+    crash_at_s: float | None,
+    downtime_s: float,
+    total: int = 12,
+    concurrency: int = 4,
+    linked: bool = True,
+) -> CrashPointResult:
+    """One closed-loop clone storm with a server crash at ``crash_at_s``.
+
+    Runs with the journal on and a retrying storm configuration, drains
+    the fault window, asserts quiescence, and returns the run's stats
+    plus any invariant violations. ``crash_at_s=None`` runs the identical
+    storm with no crash — the baseline R-X4 measures recovery against.
+    """
+    from repro.controlplane.costs import ControlPlaneConfig
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.core.experiments import StormRig
+    from repro.faults.injector import FaultInjector, FaultTargets
+    from repro.faults.schedule import FaultSchedule, ServerCrash
+
+    # max_inflight below the worker concurrency keeps the dispatch queue
+    # occupied, so crashes also land on tasks parked at the dispatch wait
+    # (the requeue reconciliation path), not just mid-attempt.
+    config = ControlPlaneConfig(
+        max_inflight_tasks=max(1, concurrency - 1),
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, max_backoff_s=10.0, jitter=0.5
+        ),
+    )
+    rig = StormRig(seed=seed, hosts=8, datastores=2, config=config, journal=True)
+    injector = None
+    if crash_at_s is not None:
+        schedule = FaultSchedule(
+            [ServerCrash(start_s=crash_at_s, duration_s=downtime_s, count=1)]
+        )
+        injector = FaultInjector(
+            rig.sim,
+            FaultTargets.for_server(rig.server),
+            schedule,
+            rng=rig.streams.stream("chaos-injector"),
+        ).start()
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=linked)
+    if injector is not None:
+        drain = rig.sim.spawn(injector.drain(), name="chaos-drain")
+        rig.sim.run(until=drain)
+    rig.sim.run()
+    if rig.sim.peek() != float("inf"):
+        raise RuntimeError("simulation did not quiesce after the crash sweep run")
+    recovery = rig.server.recovery
+    totals = recovery.verdict_totals()
+    mttr = 0.0
+    if recovery.crashes:
+        crashed_at = recovery.crashes[0].crashed_at
+        affected = [
+            task.finished_at
+            for task in rig.server.tasks.tasks
+            if task.submitted_at <= crashed_at
+            and task.finished_at is not None
+            and task.finished_at > crashed_at
+        ]
+        if affected:
+            mttr = max(affected) - crashed_at
+    return CrashPointResult(
+        seed=seed,
+        crash_at_s=crash_at_s,
+        downtime_s=downtime_s if crash_at_s is not None else 0.0,
+        completed=len(rig.server.tasks.succeeded()),
+        failed=len(rig.server.tasks.failed()),
+        dead_letters=len(rig.server.tasks.dead_letters),
+        parked=sum(epoch.parked for epoch in recovery.crashes),
+        adopted=totals["adopted"],
+        reissued=totals["reissued"],
+        requeued=totals["requeued"],
+        makespan_s=summary["makespan_s"],
+        violations=check_exactly_once(rig.server),
+        mttr_s=mttr,
+    )
+
+
+def crash_sweep(
+    seeds: typing.Iterable[int],
+    points_per_seed: int = 10,
+    rng: random.Random | None = None,
+    max_crash_at_s: float = 240.0,
+    downtimes_s: tuple[float, ...] = (5.0, 30.0, 120.0),
+    total: int = 12,
+    concurrency: int = 4,
+) -> list[CrashPointResult]:
+    """Randomized crash points across seeds; returns every run's result.
+
+    Crash timing is drawn uniformly — covering admission, dispatch wait,
+    mid-attempt, and post-storm idle — scaled to the storm flavour
+    (linked storms finish in tens of seconds, full-copy storms in
+    hundreds; ``max_crash_at_s`` bounds the full-copy draw). Downtime
+    cycles through ``downtimes_s``. The draw stream is separate from the
+    workload seeds so adding sweep points never perturbs the workloads.
+    """
+    rng = rng or random.Random(0xC4A5)
+    results: list[CrashPointResult] = []
+    for seed in seeds:
+        for point in range(points_per_seed):
+            linked = point % 2 == 0
+            horizon = 45.0 if linked else max_crash_at_s
+            crash_at = rng.uniform(1.0, horizon)
+            downtime = downtimes_s[point % len(downtimes_s)]
+            results.append(
+                run_crash_point(
+                    seed,
+                    crash_at,
+                    downtime,
+                    total=total,
+                    concurrency=concurrency,
+                    linked=linked,
+                )
+            )
+    return results
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """CLI: ``python -m repro.faults.chaos --seeds 20 --points 10``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.faults.chaos",
+        description="Sweep randomized server crashes; assert exactly-once recovery.",
+    )
+    parser.add_argument("--seeds", type=int, default=20, help="number of workload seeds")
+    parser.add_argument("--points", type=int, default=10, help="crash points per seed")
+    parser.add_argument("--total", type=int, default=12, help="clones per storm")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument(
+        "--sweep-seed", type=int, default=0xC4A5, help="seed for crash-point draws"
+    )
+    args = parser.parse_args(argv)
+
+    results = crash_sweep(
+        range(args.seeds),
+        points_per_seed=args.points,
+        rng=random.Random(args.sweep_seed),
+        total=args.total,
+        concurrency=args.concurrency,
+    )
+    bad = [r for r in results if not r.ok]
+    parked = sum(r.parked for r in results)
+    adopted = sum(r.adopted for r in results)
+    reissued = sum(r.reissued for r in results)
+    requeued = sum(r.requeued for r in results)
+    print(
+        f"crash sweep: {len(results)} crash points across {args.seeds} seeds — "
+        f"{parked} parked, {adopted} adopted, {reissued} reissued, "
+        f"{requeued} requeued, {sum(r.dead_letters for r in results)} dead-lettered"
+    )
+    if bad:
+        for result in bad:
+            print(
+                f"FAIL seed={result.seed} crash_at={result.crash_at_s:.1f}s "
+                f"downtime={result.downtime_s:.0f}s:"
+            )
+            for violation in result.violations:
+                print(f"  - {violation}")
+        print(f"{len(bad)}/{len(results)} crash points violated exactly-once")
+        return 1
+    print("exactly-once invariant held at every crash point")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -25,3 +25,16 @@ class InjectedFault(TransientError):
 
 class ShardUnavailable(TransientError):
     """A management-server shard is down; submissions to it fail."""
+
+
+class ServerCrashed(TransientError):
+    """The management server itself crashed.
+
+    Raised into in-flight task processes when a
+    :class:`~repro.faults.schedule.ServerCrash` window arms, and by
+    :meth:`~repro.controlplane.server.ManagementServer.submit` while the
+    server is down. Transient: the server restarts after its downtime, so
+    callers (the cloud director, storm workers) may retry — the recovery
+    manager guarantees a retried submission never duplicates work that
+    the journal already accounts for.
+    """

@@ -18,6 +18,9 @@ Spec catalogue:
 ``datastore_outage``  copies into the named datastores fail
 ``copy_flakiness``  every copy fails with probability ``fail_rate``
 ``shard_crash``     submissions to the named management servers fail
+``server_crash``    the named management servers crash outright: in-flight
+                    task processes are aborted, submissions rejected, and
+                    the restart (at window end) replays the task journal
 ==================  =========================================================
 
 Targets are referenced *by name* (host names, datastore names, server
@@ -234,6 +237,36 @@ class ShardCrash(FaultSpec):
             server.faults.unblock(token)
 
 
+@dataclasses.dataclass(frozen=True)
+class ServerCrash(FaultSpec):
+    """The selected management servers crash for the window.
+
+    Harsher than :class:`ShardCrash` (which only rejects *new*
+    submissions): arming interrupts every in-flight task process with
+    :class:`~repro.faults.errors.ServerCrashed` and rejects submissions;
+    disarming restarts the server, whose
+    :class:`~repro.controlplane.recovery.RecoveryManager` replays the task
+    journal and reconciles the interrupted work. ``duration_s`` is the
+    downtime.
+    """
+
+    shards: tuple[str, ...] = ()
+    count: int = 1
+
+    kind: typing.ClassVar[str] = "server_crash"
+
+    def select(self, targets, rng):
+        return targets.pick_servers(self.shards, self.count, rng)
+
+    def arm(self, targets, token, selection):
+        for server in selection:
+            server.crash(token)
+
+    def disarm(self, targets, token, selection):
+        for server in selection:
+            server.restart(token)
+
+
 SPEC_KINDS: dict[str, type[FaultSpec]] = {
     spec.kind: spec
     for spec in (
@@ -243,6 +276,7 @@ SPEC_KINDS: dict[str, type[FaultSpec]] = {
         DatastoreOutage,
         CopyFlakiness,
         ShardCrash,
+        ServerCrash,
     )
 }
 
@@ -361,7 +395,7 @@ def random_fault_schedule(
         duration = rng.uniform(duration_s * 0.05, duration_s * 0.5)
         kind = rng.choice(
             ["host_flap", "agent_degrade", "db_slowdown", "copy_flakiness",
-             "datastore_outage", "shard_crash"]
+             "datastore_outage", "shard_crash", "server_crash"]
         )
         if kind == "host_flap":
             schedule.add(HostFlap(start, duration, count=rng.randint(1, 3)))
@@ -381,6 +415,8 @@ def random_fault_schedule(
             schedule.add(CopyFlakiness(start, duration, fail_rate=rng.uniform(0.1, 0.9)))
         elif kind == "datastore_outage":
             schedule.add(DatastoreOutage(start, duration, count=1))
-        else:
+        elif kind == "shard_crash":
             schedule.add(ShardCrash(start, duration, count=1))
+        else:
+            schedule.add(ServerCrash(start, duration, count=1))
     return schedule

@@ -111,6 +111,33 @@ class Operation:
     ) -> typing.Generator[typing.Any, typing.Any, None]:
         raise NotImplementedError
 
+    # -- crash recovery ------------------------------------------------------
+    #
+    # After a management-server crash, the RecoveryManager asks each parked
+    # operation what its interrupted attempt left behind. These are plain
+    # (non-generator) methods: reconciliation inspects in-memory ground
+    # truth — inventory, hosts — while the replay's simulated cost is
+    # charged by the recovery manager itself.
+
+    def recovery_probe(
+        self, server: "ManagementServer", task: "Task"
+    ) -> str:
+        """Ground-truth verdict for a crash-interrupted attempt.
+
+        Returns ``"complete"`` (the work finished; adopt it),
+        ``"partial"`` (half-done side effects; roll back, then re-issue),
+        or ``"absent"`` (nothing externalized; re-issue). The default
+        claims nothing survived — safe for operations whose attempts leave
+        no externalized state.
+        """
+        return "absent"
+
+    def recovery_adopt(self, server: "ManagementServer", task: "Task") -> None:
+        """Claim completed orphaned work (e.g. set ``task.result``)."""
+
+    def recovery_rollback(self, server: "ManagementServer", task: "Task") -> None:
+        """Undo half-done side effects before the attempt is re-issued."""
+
     # Convenience wrapper binding the common arguments of :func:`phase`.
     def timed(
         self,

@@ -274,6 +274,48 @@ class CloneVM(Operation):
             created_at=server.sim.now,
         )
 
+    # -- crash recovery ---------------------------------------------------------
+    #
+    # Ground truth for a clone is the inventory: a crash-interrupted attempt
+    # may have left a registered-and-placed VM (done), a registered but
+    # never-placed VM (half-done), or nothing. Matching is by target name —
+    # the clone's natural idempotency key.
+
+    def _leftovers(self, server: "ManagementServer") -> list[VirtualMachine]:
+        return [
+            vm
+            for vm in server.inventory.all(VirtualMachine)
+            if vm.name == self.name
+        ]
+
+    def _is_complete(self, vm: VirtualMachine) -> bool:
+        if vm.host is None:
+            return False
+        return not self.power_on_after or vm.power_state is PowerState.ON
+
+    def recovery_probe(self, server: "ManagementServer", task: "Task") -> str:
+        leftovers = self._leftovers(server)
+        if any(self._is_complete(vm) for vm in leftovers):
+            return "complete"
+        return "partial" if leftovers else "absent"
+
+    def recovery_adopt(self, server: "ManagementServer", task: "Task") -> None:
+        """Claim the placed VM; retire incomplete duplicates of it."""
+        adopted = None
+        for vm in self._leftovers(server):
+            if adopted is None and self._is_complete(vm):
+                adopted = vm
+            elif not self._is_complete(vm):
+                server.inventory.unregister(vm)
+        task.result = adopted
+
+    def recovery_rollback(self, server: "ManagementServer", task: "Task") -> None:
+        """Undo half-done placements/registrations before a re-issue."""
+        for vm in self._leftovers(server):
+            if vm.host is not None:
+                vm.evacuate()
+            server.inventory.unregister(vm)
+
 
 class DeployFromTemplate(Operation):
     """Self-service deploy: clone from a template, customize, power on.
@@ -355,3 +397,32 @@ class DeployFromTemplate(Operation):
             tag=PHASE_DB,
         )
         task.result = vm
+
+    # -- crash recovery ---------------------------------------------------------
+    #
+    # A deploy is complete only when its VM is placed *and* powered on; a
+    # placed-but-off VM is a half-done deploy (customization or power-on
+    # lost to the crash) and is rolled back rather than adopted.
+
+    def _deploy_complete(self, vm) -> bool:
+        return vm.host is not None and vm.power_state is PowerState.ON
+
+    def recovery_probe(self, server: "ManagementServer", task: "Task") -> str:
+        leftovers = self.clone._leftovers(server)
+        if any(self._deploy_complete(vm) for vm in leftovers):
+            return "complete"
+        return "partial" if leftovers else "absent"
+
+    def recovery_adopt(self, server: "ManagementServer", task: "Task") -> None:
+        adopted = None
+        for vm in self.clone._leftovers(server):
+            if adopted is None and self._deploy_complete(vm):
+                adopted = vm
+            elif not self._deploy_complete(vm):
+                if vm.host is not None:
+                    vm.evacuate()
+                server.inventory.unregister(vm)
+        task.result = adopted
+
+    def recovery_rollback(self, server: "ManagementServer", task: "Task") -> None:
+        self.clone.recovery_rollback(server, task)

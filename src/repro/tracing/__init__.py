@@ -40,6 +40,7 @@ from repro.tracing.span import (
     PHASE_LOCK,
     PHASE_PLACEMENT,
     PHASE_QUEUE,
+    PHASE_RECOVERY,
     PHASE_REQUEST,
     PHASE_RETRY,
     PHASE_TASK,
@@ -68,6 +69,7 @@ __all__ = [
     "PHASE_LOCK",
     "PHASE_PLACEMENT",
     "PHASE_QUEUE",
+    "PHASE_RECOVERY",
     "PHASE_REQUEST",
     "PHASE_RETRY",
     "PHASE_TASK",

@@ -41,6 +41,7 @@ PHASE_CPU = "cpu"              # management-server CPU phases
 PHASE_LOCK = "lock"            # inventory lock acquisition
 PHASE_REQUEST = "request"      # director request / per-VM framing
 PHASE_EVENTLOG = "eventlog"    # event-log flush machinery
+PHASE_RECOVERY = "recovery"    # post-crash journal replay + reconciliation
 
 PHASES = (
     PHASE_TASK,
@@ -55,6 +56,7 @@ PHASES = (
     PHASE_LOCK,
     PHASE_REQUEST,
     PHASE_EVENTLOG,
+    PHASE_RECOVERY,
 )
 
 # Phases that are data-plane work; everything else is control-plane.

@@ -1,0 +1,38 @@
+"""A bounded chaos crash-sweep in tier-1.
+
+The full acceptance sweep (200 randomized crash points, ``python -m
+repro.faults.chaos``) is CI's chaos job; this keeps a small deterministic
+slice of it in the fast suite so the exactly-once invariant cannot rot
+between chaos runs.
+"""
+
+import random
+
+from repro.faults.chaos import crash_sweep, run_crash_point
+
+
+def test_bounded_sweep_holds_exactly_once():
+    results = crash_sweep(
+        seeds=range(2),
+        points_per_seed=3,
+        rng=random.Random(0xC4A5),
+        total=8,
+        concurrency=3,
+    )
+    assert len(results) == 6
+    for result in results:
+        assert result.ok, (result.seed, result.crash_at_s, result.violations)
+    # The sweep actually exercised recovery, not just post-drain crashes.
+    assert sum(result.parked for result in results) > 0
+    assert sum(result.adopted + result.reissued + result.requeued
+               for result in results) > 0
+
+
+def test_baseline_point_runs_crash_free():
+    result = run_crash_point(
+        seed=0, crash_at_s=None, downtime_s=0.0, total=6, concurrency=3
+    )
+    assert result.ok
+    assert result.parked == 0
+    assert result.mttr_s == 0.0
+    assert result.completed == 6

@@ -5,6 +5,11 @@ schedule plays out over a deploy storm, the system quiesces — every
 fault window disarmed, every started task SUCCESS or ERROR (nothing
 stranded QUEUED/RUNNING), every request process finished, and no
 injected fault left armed.
+
+Randomized schedules include ``server_crash`` windows (the management
+server halts, in-flight work is interrupted, and a restart replays the
+recovery path), so the property also covers crash/recovery quiescence:
+the server must end restarted and every crash-parked task adjudicated.
 """
 
 import random
@@ -92,9 +97,17 @@ def test_every_started_task_is_accounted_for(seed, resilient):
     assert all(error is None for error in outcomes)
 
     # Every started task is terminal; none stranded queued or running.
+    # assert_accounted is the hard invariant every exhibit runs too.
     tasks = rig.server.tasks
-    assert tasks.unaccounted() == []
+    tasks.assert_accounted()
     assert len(tasks.succeeded()) + len(tasks.failed()) == len(tasks.tasks)
+
+    # Any server crash ended in a completed recovery: server back up,
+    # nothing still parked awaiting a reconciliation verdict.
+    assert not rig.server.crashed
+    assert rig.server.recovery.parked_count == 0
+    for epoch in rig.server.recovery.crashes:
+        assert epoch.restarted_at is not None
 
     # Dead letters only exist where a retry policy made the promise, and
     # each one maps to a failed task.

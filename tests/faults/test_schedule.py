@@ -86,6 +86,7 @@ def test_spec_kinds_registry_complete():
         "datastore_outage",
         "copy_flakiness",
         "shard_crash",
+        "server_crash",
     }
 
 
