@@ -179,3 +179,26 @@ def test_storm_journal_on_throughput(benchmark):
     """48 linked clones, concurrency 12, task journal recording."""
     completed = benchmark(run_storm_journal_on, 48, 12)
     assert completed == 48
+
+
+def run_storm_bus_on(total, concurrency):
+    """The same clone storm with every control-plane hop bus-mediated.
+
+    Each submit and host-agent call becomes a publish + queued delivery +
+    reply with a redelivery timer armed and cancelled, so this rate
+    bounds what at-least-once transport costs a fault-free run — the
+    bus-mediated analogue of the journal and telemetry storm benches.
+    """
+    from repro.core.experiments import StormRig
+
+    rig = StormRig(seed=0, hosts=8, datastores=2, bus=True, direct_calls=False)
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=True)
+    delivered = sum(stats.delivered for stats in rig.bus.topic_stats().values())
+    assert delivered > 0
+    return int(summary["completed"])
+
+
+def test_storm_bus_on_throughput(benchmark):
+    """48 linked clones, concurrency 12, all hops through the message bus."""
+    completed = benchmark(run_storm_bus_on, 48, 12)
+    assert completed == 48

@@ -1,0 +1,45 @@
+"""R-X5 (extension): direct calls vs a bus-mediated control plane under chaos.
+
+The restart storm (crash + journal replay) runs direct, bus-mediated,
+and bus-mediated under each message-fault kind. Expected shape: the
+exactly-once invariant holds in every cell (the experiment raises
+otherwise), the fault-free bus tracks the direct crash cell's goodput
+closely, faults show up in the redelivery/dedup/drop columns, and the
+partition cell is the one that buys measurable queueing latency.
+"""
+
+
+def test_bench_x5_bus_chaos(exhibit):
+    result = exhibit("R-X5")
+
+    labels = [row[0] for row in result.rows]
+    assert labels[:2] == ["direct", "direct+crash"]
+    assert "bus" in labels and "bus+drop" in labels and "bus+partition" in labels
+
+    rows = {row[0]: row for row in result.rows}
+    total = int(rows["direct"][1])
+
+    # The crash costs goodput in every design; the fault-free bus stays
+    # within a small factor of the direct crash cell (transport is cheap
+    # next to copy work).
+    direct_crash_goodput = float(rows["direct+crash"][7])
+    bus_goodput = float(rows["bus"][7])
+    assert bus_goodput > 0.55 * direct_crash_goodput
+
+    # The bus cells actually rode the bus, and chaos actually happened:
+    # drops triggered redeliveries, duplicates were deduped, and despite
+    # all of it nothing was lost in the no-fault and drop/duplicate cells.
+    assert int(rows["bus"][3]) > 0  # published
+    assert int(rows["bus+drop"][6]) > 0  # dropped in transit
+    assert int(rows["bus+drop"][4]) > 0  # redelivered
+    assert int(rows["bus+duplicate"][5]) > 0  # deduped
+    assert int(rows["bus"][1]) == total
+    assert int(rows["bus+drop"][1]) == total
+    assert int(rows["bus+duplicate"][1]) == total
+
+    # The partition parks messages: its mean queue wait dominates all
+    # other cells' (direct cells report "-": no queueing at all).
+    partition_wait = float(rows["bus+partition"][8])
+    bus_wait = float(rows["bus"][8])
+    assert partition_wait > bus_wait
+    assert partition_wait > 100.0  # ms — a real stall, not jitter

@@ -30,6 +30,7 @@ from bench_kernel_micro import (  # noqa: E402
     run_fair_share_churn,
     run_resource_contention,
     run_spawn_churn,
+    run_storm_bus_on,
     run_storm_journal_on,
     run_storm_telemetry_off,
     run_timeout_chain,
@@ -46,6 +47,7 @@ BENCHES = {
     "cancel_storm": (run_cancel_storm, (20_000,), 20_000, "cancel/rearm cycles"),
     "storm_telemetry_off": (run_storm_telemetry_off, (48, 12), 48, "linked clones"),
     "storm_journal_on": (run_storm_journal_on, (48, 12), 48, "linked clones"),
+    "storm_bus_on": (run_storm_bus_on, (48, 12), 48, "linked clones"),
 }
 
 

@@ -141,6 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument("--rollups-out", help="write roll-up windows as JSONL")
     metrics_cmd.add_argument("--alerts-out", help="write the alert timeline as JSONL")
 
+    bus_cmd = sub.add_parser(
+        "bus",
+        help="bus-mediated deploy storm: topic stats, queue depths, redeliveries",
+    )
+    bus_cmd.add_argument("--deploys", type=int, default=16,
+                         help="catalog deploys to push through the bus")
+    bus_cmd.add_argument("--concurrency", type=int, default=4)
+    bus_cmd.add_argument("--seed", type=int, default=0)
+    bus_cmd.add_argument(
+        "--fault",
+        choices=("none", "drop", "duplicate", "delay", "reorder", "partition"),
+        default="none",
+        help="message fault to arm mid-storm (default none)",
+    )
+    bus_cmd.add_argument("--rate", type=float, default=0.3,
+                         help="fault rate (drop/duplicate/reorder) or delay seconds")
+    bus_cmd.add_argument("--fault-at", type=float, default=5.0,
+                         help="fault window start in sim seconds")
+    bus_cmd.add_argument("--fault-duration", type=float, default=60.0,
+                         help="fault window length in sim seconds")
+
     sub.add_parser("list", help="list profiles and experiments")
     return parser
 
@@ -571,6 +592,126 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bus(args: argparse.Namespace) -> int:
+    from repro.cloud.api import ApiGateway
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization, User
+    from repro.controlplane.costs import ControlPlaneConfig
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.datacenter.templates import MEDIUM_LINUX
+    from repro.faults import FaultInjector, FaultSchedule, FaultTargets
+    from repro.faults.chaos import _message_spec, check_exactly_once
+    from repro.sim.events import AllOf
+
+    if args.deploys < 1 or args.concurrency < 1:
+        print("error: --deploys and --concurrency must be >= 1", file=sys.stderr)
+        return 2
+    config = ControlPlaneConfig(
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, max_backoff_s=10.0, jitter=0.5
+        ),
+    )
+    rig = StormRig(
+        seed=args.seed, hosts=8, datastores=2, config=config,
+        journal=True, bus=True, direct_calls=False,
+    )
+    catalog = Catalog("demo")
+    item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+    org = Organization("demo-org", quota_vms=1_000_000, quota_storage_gb=1e9)
+    # The director sees the mediated bus on the server and subscribes its
+    # deploy topic; the gateway publishes to it through submit_deploy.
+    director = CloudDirector(rig.server, rig.cluster, rig.library, catalog)
+    gateway = ApiGateway(rig.sim, requests_per_minute=6000.0, burst=100.0)
+    session = gateway.login(User("tenant", org))
+
+    injector = None
+    if args.fault != "none":
+        spec = _message_spec(
+            args.fault, args.rate, args.fault_at, args.fault_duration
+        )
+        injector = FaultInjector(
+            rig.sim,
+            FaultTargets.for_server(rig.server),
+            FaultSchedule([spec]),
+            rng=rig.streams.stream("bus-injector"),
+        ).start()
+
+    queue = list(range(args.deploys))
+
+    def worker() -> typing.Generator:
+        while queue:
+            index = queue.pop(0)
+            try:
+                yield from gateway.submit_deploy(
+                    session,
+                    director,
+                    DeployRequest(
+                        org=org, item=item, vm_count=1, vapp_name=f"req{index}"
+                    ),
+                )
+            except Exception:
+                pass
+
+    workers = [
+        rig.sim.spawn(worker(), name=f"bus-worker-{w}")
+        for w in range(min(args.concurrency, args.deploys))
+    ]
+    start = rig.sim.now
+    rig.sim.run(until=AllOf(rig.sim, workers))
+    if injector is not None:
+        rig.sim.run(until=rig.sim.spawn(injector.drain(), name="bus-drain"))
+    rig.sim.run()
+    makespan = rig.sim.now - start
+
+    bus = rig.bus
+    print(
+        f"bus {bus.name!r}: {args.deploys} deploys through "
+        f"{len(bus.topic_stats())} topics in {makespan:.1f}s"
+        + (f" (fault: {args.fault})" if args.fault != "none" else "")
+    )
+    print(
+        f"\n{'topic':<28} {'pub':>5} {'dlvr':>5} {'redlv':>5} {'dedup':>5} "
+        f"{'drop':>5} {'shed':>5} {'dead':>5} {'depth':>5} {'wait(ms)':>9}"
+    )
+    totals = {"published": 0, "delivered": 0, "redelivered": 0, "deduped": 0,
+              "dropped": 0, "shed": 0, "dead_lettered": 0}
+    depths = bus.depths()
+    for name, stats in bus.topic_stats().items():
+        wait_ms = stats.mean_wait_s * 1000.0
+        print(
+            f"{name:<28} {stats.published:>5} {stats.delivered:>5} "
+            f"{stats.redelivered:>5} {stats.deduped:>5} {stats.dropped:>5} "
+            f"{stats.shed:>5} {stats.dead_lettered:>5} {depths[name]:>5} "
+            f"{wait_ms:>9.1f}"
+        )
+        totals["published"] += stats.published
+        totals["delivered"] += stats.delivered
+        totals["redelivered"] += stats.redelivered
+        totals["deduped"] += stats.deduped
+        totals["dropped"] += stats.dropped
+        totals["shed"] += stats.shed
+        totals["dead_lettered"] += stats.dead_lettered
+    print(
+        f"\ntotals: {totals['published']} published, "
+        f"{totals['delivered']} delivered, {totals['redelivered']} redelivered, "
+        f"{totals['deduped']} deduped, {totals['dropped']} dropped in transit, "
+        f"{totals['shed']} shed, {totals['dead_lettered']} dead-lettered"
+    )
+    deployed = sum(len(vapp.vms) for vapp in director.vapps)
+    tasks = rig.server.tasks
+    print(f"deployed VMs:  {deployed}")
+    print(f"dead letters:  {len(tasks.dead_letters)}")
+    violations = check_exactly_once(rig.server)
+    if violations:
+        print("exactly-once VIOLATED:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("exactly-once invariant: held")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -591,6 +732,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "recover": cmd_recover,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "bus": cmd_bus,
     "list": cmd_list,
 }
 

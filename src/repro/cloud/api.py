@@ -84,6 +84,7 @@ class ApiGateway:
         self._t_admitted = telemetry.counter("gateway_admitted_total")
         self._t_shed = telemetry.counter("gateway_shed_total")
         self._t_wait = telemetry.histogram("gateway_admission_wait_s")
+        self._deploy_seq = 0
 
     def enable_shedding(
         self, queue_depth_probe: typing.Callable[[], float], watermark: float
@@ -193,3 +194,27 @@ class ApiGateway:
         self._t_admitted.add()
         self._t_wait.observe(wait)
         return wait
+
+    def submit_deploy(
+        self, session: Session, director, request, cost: float = 1.0, span=NULL_SPAN
+    ) -> typing.Generator[typing.Any, typing.Any, typing.Any]:
+        """Process-style: admit, then hand the deploy to the director.
+
+        The gateway→director hop: with a mediated bus the request rides
+        the director's deploy topic (at-least-once, keyed per request) and
+        this waits on the reply; with direct calls it is a plain director
+        call. Returns the settled vApp either way.
+        """
+        yield from self.admit(session, cost=cost, span=span)
+        bus = director.server.bus
+        if not bus.mediated:
+            vapp = yield from director.deploy(request)
+            return vapp
+        self._deploy_seq += 1
+        key = f"deploy:{request.vapp_name}:{self._deploy_seq}"
+        reply = self.sim.event(name=f"bus-reply:{key}")
+        yield from bus.publish(
+            director.deploy_topic_name, request, key=key, reply=reply, span=span
+        )
+        vapp = yield reply
+        return vapp

@@ -73,6 +73,12 @@ class CloudDirector:
         self._retry_rng = server.streams.stream(f"{server.name}:director-retry")
         self.metrics = MetricsRegistry(server.sim, prefix="director")
         self.vapps: list[VApp] = []
+        # Gateway→director hop: on a mediated bus the director consumes
+        # deploy requests from its topic (see ApiGateway.submit_deploy);
+        # with direct calls the topic never exists.
+        self._deploy_topic = None
+        if server.bus.mediated:
+            self.attach_bus(server.bus)
         # Telemetry handles from the server's hub (NULL_METRIC when disabled).
         telemetry = server.telemetry
         self._t_deploys = telemetry.counter("director_deploys_total")
@@ -82,6 +88,39 @@ class CloudDirector:
             "director_placement_failures_total"
         )
         self._t_deploy_latency = telemetry.histogram("director_deploy_latency_s")
+
+    def attach_bus(self, bus) -> None:
+        """Subscribe the deploy topic and start the consumer (mediated)."""
+        if self._deploy_topic is not None:
+            raise RuntimeError("director already attached to a bus")
+        self._deploy_topic = bus.subscribe(f"director.deploys:{self.server.name}")
+        self.sim.spawn(self._serve_deploys(bus), name="director:bus-deploy-consumer")
+
+    @property
+    def deploy_topic_name(self) -> str:
+        if self._deploy_topic is None:
+            raise RuntimeError("director is not attached to a bus")
+        return self._deploy_topic.name
+
+    def _serve_deploys(self, bus) -> typing.Generator:
+        """Drain deploy requests; duplicates are suppressed by key.
+
+        The director is a separate tier from the management server, so
+        handlers are *not* crash-interruptible — a server crash surfaces
+        to the handler as a failed submit, which the per-VM retry loop
+        already masks.
+        """
+        topic = self._deploy_topic
+        while True:
+            message = yield topic.get()
+            if not bus.accept(message):
+                continue
+            request = message.payload
+            handler = self.sim.spawn(
+                self.deploy(request),
+                name=f"director:deploy-handler:{request.vapp_name}",
+            )
+            bus.bridge(handler, message)
 
     def _tripped_hosts(self) -> set[str]:
         """Hosts whose agent circuit breaker is currently open."""

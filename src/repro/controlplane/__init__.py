@@ -11,6 +11,18 @@ Scale-out (:class:`ShardedControlPlane`) partitions hosts across multiple
 servers — the design response the paper's conclusions point at.
 """
 
+from repro.controlplane.bus import (
+    AgentProxy,
+    BusFaultHook,
+    Message,
+    MessageBus,
+    NULL_BUS,
+    OVERFLOW_BLOCK,
+    OVERFLOW_DEAD_LETTER,
+    OVERFLOW_SHED_OLDEST,
+    Topic,
+    TopicStats,
+)
 from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
 from repro.controlplane.database import DatabaseModel
 from repro.controlplane.eventlog import (
@@ -38,9 +50,11 @@ from repro.controlplane.stats_sync import StatsCollector
 from repro.controlplane.task_manager import Task, TaskManager, TaskState
 
 __all__ = [
+    "AgentProxy",
     "AlarmManager",
     "AlarmRule",
     "BreakerPolicy",
+    "BusFaultHook",
     "BreakerState",
     "CircuitBreaker",
     "ControlPlaneConfig",
@@ -55,7 +69,15 @@ __all__ = [
     "HostAgentError",
     "LockManager",
     "ManagementServer",
+    "Message",
+    "MessageBus",
     "NO_RETRY",
+    "NULL_BUS",
+    "OVERFLOW_BLOCK",
+    "OVERFLOW_DEAD_LETTER",
+    "OVERFLOW_SHED_OLDEST",
+    "Topic",
+    "TopicStats",
     "RetryBudget",
     "RetryPolicy",
     "ShardedControlPlane",

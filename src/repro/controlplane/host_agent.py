@@ -76,13 +76,18 @@ class HostAgent:
             self.breaker.record_failure()
 
     def call(
-        self, kind: str, median_s: float, span=NULL_SPAN
+        self, kind: str, median_s: float, span=NULL_SPAN, task=None
     ) -> typing.Generator[typing.Any, typing.Any, float]:
         """Process-style: one agent call; returns elapsed seconds.
 
         Raises :class:`HostAgentError` if the host is unusable, the
         breaker is open, a fault was injected, or service exceeds the
         configured timeout.
+
+        ``task`` keeps signature parity with the bus-mediated
+        :class:`~repro.controlplane.bus.AgentProxy`, which derives its
+        idempotency key from it; the direct channel has no delivery layer,
+        so it is unused here.
         """
         start = self.sim.now
         call_span = span.child(

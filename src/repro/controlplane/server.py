@@ -26,6 +26,7 @@ from repro.sim.resources import Resource
 from repro.sim.stats import MetricsRegistry
 from repro.storage.copy_engine import CopyEngine
 from repro.storage.scheduler import CopyScheduler
+from repro.controlplane.bus import AgentProxy, NULL_BUS
 from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
 from repro.controlplane.database import DatabaseModel
 from repro.controlplane.host_agent import HostAgent
@@ -58,6 +59,7 @@ class ManagementServer:
         tracer=None,
         telemetry=None,
         journal=None,
+        bus=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -135,6 +137,19 @@ class ManagementServer:
         self.tasks.recovery = self.recovery
         self._crash_tokens: set = set()
         self._inflight: set[Process] = set()
+        # Message bus (NULL_BUS = off). A mediated bus carries the
+        # submit and host-agent hops through topics: the submission
+        # consumer starts here, per-host consumers start in adopt_host,
+        # and bus-level dead letters land in the task manager's
+        # deduplicated sink. A direct_calls bus is inert: no consumers,
+        # no topics, schedules byte-identical to a bus-free run.
+        self.bus = bus if bus is not None else NULL_BUS
+        self._agent_proxies: dict[str, AgentProxy] = {}
+        self._submit_seq = 0
+        if self.bus.mediated:
+            self.bus.dead_letter_sink = self.tasks.record_message_dead_letter
+            self._submit_topic = self.bus.subscribe(f"tasks.submit:{name}")
+            self.sim.spawn(self._serve_submissions(), name=f"{name}:bus-submit-consumer")
         self._register_telemetry()
 
     def _register_telemetry(self) -> None:
@@ -230,13 +245,29 @@ class ManagementServer:
             else 0.0,
             host=host.name,
         )
+        if self.bus.mediated:
+            topic = self.bus.subscribe(f"agent.{host.entity_id}")
+            proxy = AgentProxy(self.bus, agent, topic.name)
+            self._agent_proxies[host.entity_id] = proxy
+            self.sim.spawn(
+                self._serve_agent(agent, topic),
+                name=f"{self.name}:bus-agent-consumer:{host.entity_id}",
+            )
+            return proxy
         return agent
 
     def agent(self, host: Host) -> HostAgent:
+        """The host's agent channel — the bus proxy when mediated.
+
+        The proxy delegates everything but ``call`` to the real agent, so
+        fault hooks, breakers, and probes behave identically either way.
+        """
         try:
-            return self._agents[host.entity_id]
+            agent = self._agents[host.entity_id]
         except KeyError:
             raise KeyError(f"host {host.name!r} not managed by {self.name}") from None
+        proxy = self._agent_proxies.get(host.entity_id)
+        return proxy if proxy is not None else agent
 
     @property
     def hosts(self) -> list[Host]:
@@ -325,13 +356,37 @@ class ManagementServer:
     def submit(
         self, operation: "Operation", priority: float = 5.0, span=NULL_SPAN
     ) -> Process:
-        """Run an operation as a task; returns its process event.
+        """Run an operation as a task; returns an event carrying it.
 
-        The process's value is the completed :class:`Task`; an operation
-        failure fails the process with the underlying exception. A caller
-        with its own span (the cloud director's per-VM span) passes it so
-        the task's span tree joins the request trace.
+        Direct mode returns the lifecycle process itself. Mediated mode
+        publishes the submission onto the bus and returns the reply event
+        the submission consumer settles — same contract for callers: the
+        event's value is the completed :class:`Task`, an operation failure
+        fails it with the underlying exception. A caller with its own span
+        (the cloud director's per-VM span) passes it so the task's span
+        tree joins the request trace.
         """
+        if not self.bus.mediated:
+            return self._spawn_lifecycle(operation, priority, span)
+        self._submit_seq += 1
+        key = f"submit:{self.name}:{self._submit_seq}"
+        reply = self.sim.event(name=f"bus-reply:{key}")
+        self.sim.spawn(
+            self.bus.publish(
+                self._submit_topic.name,
+                (operation, priority, span),
+                key=key,
+                reply=reply,
+                span=span,
+            ),
+            name=f"{self.name}:bus-publish:{operation.op_type.value}",
+        )
+        return reply
+
+    def _spawn_lifecycle(
+        self, operation: "Operation", priority: float, span
+    ) -> Process:
+        """Spawn the task lifecycle process and track it for crash windows."""
 
         def lifecycle() -> typing.Generator[typing.Any, typing.Any, Task]:
             # A crashed server or shard rejects the submission outright — no
@@ -367,6 +422,55 @@ class ManagementServer:
     def execute(self, operation: "Operation", priority: float = 5.0) -> Process:
         """Alias of :meth:`submit` (reads better at call sites that wait)."""
         return self.submit(operation, priority=priority)
+
+    # -- bus consumers -------------------------------------------------------
+
+    def _serve_submissions(self) -> typing.Generator:
+        """Mediated mode: drain the submission topic into task lifecycles.
+
+        The consumer itself is infrastructure — it survives crashes (the
+        lifecycle it spawns rejects work while the server is down, exactly
+        like a direct-mode submit). ``accept`` suppresses duplicate
+        copies, so a redelivered submission never runs a second lifecycle.
+        """
+        topic = self._submit_topic
+        while True:
+            message = yield topic.get()
+            if not self.bus.accept(message):
+                continue
+            operation, priority, span = message.payload
+            process = self._spawn_lifecycle(operation, priority, span)
+            self.bus.bridge(process, message)
+
+    def _serve_agent(self, agent: HostAgent, topic) -> typing.Generator:
+        """Mediated mode: drain one host's agent topic into hostd calls.
+
+        Handlers join ``_inflight`` so a crash window interrupts them like
+        any in-flight work — the slot is released on unwind and the reply
+        fails, which the waiting task sees as its own crash interrupt.
+        """
+        while True:
+            message = yield topic.get()
+            if not self.bus.accept(message):
+                continue
+            kind, median_s, span = message.payload
+            handler = self.sim.spawn(
+                self._agent_call(agent, kind, median_s, span),
+                name=f"{self.name}:hostd-handler:{agent.host.entity_id}",
+            )
+            self._inflight.add(handler)
+            handler.callbacks.append(
+                lambda _event, h=handler: self._inflight.discard(h)
+            )
+            self.bus.bridge(handler, message)
+
+    def _agent_call(
+        self, agent: HostAgent, kind: str, median_s: float, span
+    ) -> typing.Generator:
+        if self.crashed:
+            raise ServerCrashed(f"{self.name} is down")
+        result = yield from agent.call(kind, median_s, span=span)
+        return result
 
     # -- reporting ------------------------------------------------------------------
 

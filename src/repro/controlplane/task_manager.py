@@ -468,6 +468,22 @@ class TaskManager:
         self.metrics.counter("dead_letter").add()
         self._t_dead_letter.add()
 
+    def record_message_dead_letter(self, task: Task, error: BaseException) -> None:
+        """Bus-level dead letter for a task-linked message: one shared sink.
+
+        The message bus points its ``dead_letter_sink`` here so bus sheds
+        and resilience-layer dead letters are counted once, through the
+        same dedup (``_dead_lettered`` + the journal's terminal record).
+        Only a terminally-failed task records anything: while the task is
+        live, a lost message surfaces as :class:`MessageLost` through the
+        reply and the retry machinery owns the outcome — if *it* gives up,
+        the ordinary ``_record_dead_letter`` path fires with this dedup
+        guaranteeing no double count.
+        """
+        if task is None or task.state is not TaskState.ERROR:
+            return
+        self._record_dead_letter(task, error)
+
     def _finalize(self, task: Task) -> typing.Generator:
         """Completion row + metrics + event post; never masks the outcome."""
         if task.finished_at is None:

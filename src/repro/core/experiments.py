@@ -20,6 +20,7 @@ from repro.analysis.mix import mix_comparison
 from repro.analysis.report import render_series, render_table
 from repro.analysis.timeseries import arrival_rate_series, peak_to_trough
 from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
+from repro.controlplane.bus import MessageBus
 from repro.controlplane.recovery import NULL_JOURNAL, TaskJournal
 from repro.controlplane.server import ManagementServer
 from repro.controlplane.shard import ShardedControlPlane
@@ -81,6 +82,8 @@ class StormRig:
         telemetry: bool = False,
         scrape_interval_s: float = 5.0,
         journal: bool = False,
+        bus: bool = False,
+        direct_calls: bool = True,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
@@ -91,6 +94,19 @@ class StormRig:
             else NULL_TELEMETRY
         )
         self.journal = TaskJournal() if journal else NULL_JOURNAL
+        # bus=True attaches a MessageBus; direct_calls=True keeps it inert
+        # (byte-identical schedules), False routes the control-plane hops
+        # through bus topics with at-least-once delivery.
+        self.bus = (
+            MessageBus(
+                self.sim,
+                rng=self.streams.stream("bus"),
+                telemetry=self.telemetry,
+                direct_calls=direct_calls,
+            )
+            if bus
+            else None
+        )
         self.server = ManagementServer(
             self.sim,
             self.streams.spawn("server"),
@@ -99,6 +115,7 @@ class StormRig:
             tracer=self.tracer,
             telemetry=self.telemetry,
             journal=self.journal,
+            bus=self.bus,
         )
         inventory = self.server.inventory
         self.datacenter = inventory.create(Datacenter, name="dc")
@@ -1263,6 +1280,142 @@ def experiment_x4_crash_mttr(seed: int = 0, quick: bool = False) -> ExperimentRe
     )
 
 
+def experiment_x5_bus_chaos(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-X5 (extension): direct calls vs a bus-mediated control plane under chaos.
+
+    The same closed-loop linked-clone restart storm (journal on, one
+    :class:`~repro.faults.ServerCrash` window mid-storm) runs in three
+    designs: direct in-process calls (the pre-bus control plane), the
+    message bus with no message faults, and the bus under each
+    ``MessageFault`` kind — drop, duplicate, delay, reorder, and a topic
+    partition — layered on top of the crash window.
+
+    Acceptance: zero lost or duplicated terminal task states in every
+    cell (``check_exactly_once``), with goodput and the bus's added
+    queueing latency reported. At-least-once redelivery plus
+    idempotency-key dedup is what keeps the invariant intact while
+    messages are being dropped and cloned.
+    """
+    from repro.faults.chaos import run_crash_point, run_message_fault_point
+
+    total = 8 if quick else 16
+    concurrency = 4
+    downtime = 30.0
+
+    baseline = run_crash_point(
+        seed, None, 0.0, total=total, concurrency=concurrency, linked=True
+    )
+    if baseline.violations:
+        raise AssertionError(f"direct baseline violations: {baseline.violations}")
+    crash_at = 0.35 * baseline.makespan_s
+
+    crashed_direct = run_crash_point(
+        seed, crash_at, downtime, total=total, concurrency=concurrency, linked=True
+    )
+    if crashed_direct.violations:
+        raise AssertionError(f"direct crash violations: {crashed_direct.violations}")
+
+    def direct_row(label, result):
+        goodput = (
+            result.completed * 3600.0 / result.makespan_s if result.makespan_s else 0.0
+        )
+        return [
+            label,
+            result.completed,
+            result.dead_letters,
+            "-",
+            "-",
+            "-",
+            "-",
+            f"{goodput:.0f}",
+            "-",
+        ]
+
+    rows = [
+        direct_row("direct", baseline),
+        direct_row("direct+crash", crashed_direct),
+    ]
+    goodputs: list[tuple[str, float]] = [
+        ("direct", baseline.completed * 3600.0 / baseline.makespan_s),
+        (
+            "direct+crash",
+            crashed_direct.completed * 3600.0 / crashed_direct.makespan_s,
+        ),
+    ]
+
+    cells: list[tuple[str, str | None, float]] = [
+        ("bus", None, 0.0),
+        ("bus+drop", "drop", 0.3),
+        ("bus+duplicate", "duplicate", 0.3),
+        ("bus+delay", "delay", 2.0),
+        ("bus+reorder", "reorder", 0.5),
+        ("bus+partition", "partition", 0.0),
+    ]
+    for label, kind, intensity in cells:
+        # The message-fault window opens before the crash and stays armed
+        # through the restart replay, so redelivery/dedup are exercised
+        # against recovery traffic too, not just the steady-state storm.
+        fault_at = max(1.0, 0.2 * baseline.makespan_s)
+        result = run_message_fault_point(
+            seed,
+            kind,
+            intensity,
+            fault_at_s=fault_at,
+            fault_duration_s=(crash_at - fault_at) + downtime + 20.0,
+            total=total,
+            concurrency=concurrency,
+            linked=True,
+            crash_at_s=crash_at,
+            downtime_s=downtime,
+        )
+        if result.violations:
+            raise AssertionError(f"{label} violations: {result.violations}")
+        rows.append(
+            [
+                label,
+                result.completed,
+                result.dead_letters,
+                result.published,
+                result.redelivered,
+                result.deduped,
+                result.dropped,
+                f"{result.goodput_per_hour:.0f}",
+                f"{result.mean_queue_wait_s * 1000.0:.1f}",
+            ]
+        )
+        goodputs.append((label, result.goodput_per_hour))
+
+    series = {
+        "goodput (clones/hour) by design": [
+            (float(index), goodput) for index, (_label, goodput) in enumerate(goodputs)
+        ]
+    }
+    return ExperimentResult(
+        exp_id="R-X5",
+        title="Message-bus chaos: direct vs bus-mediated under faults (extension)",
+        headers=[
+            "design",
+            "completed",
+            "dead",
+            "published",
+            "redelivered",
+            "deduped",
+            "dropped",
+            "goodput/h",
+            "mean queue wait (ms)",
+        ],
+        rows=rows,
+        series=series,
+        notes=(
+            "Every cell passed check_exactly_once: zero lost or duplicated "
+            "terminal task states across the crash window and every message-"
+            "fault kind. Redelivery timers resend dropped messages; consumers "
+            "dedup duplicates by task idempotency key; the queue-wait column "
+            "is the bus's added queueing latency (direct calls have none)."
+        ),
+    )
+
+
 # --------------------------------------------------------------------------
 # R-F-phase — stacked per-phase provisioning-latency breakdown.
 # --------------------------------------------------------------------------
@@ -1285,6 +1438,7 @@ PHASE_FOLD: dict[str, str] = {
     "request": "other",
     "retry": "other",
     "recovery": "other",
+    "bus": "other",
 }
 FOLDED_PHASES = ("queue", "placement", "db", "agent", "cpu", "lock", "copy", "other")
 
@@ -1643,6 +1797,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-X2": experiment_x2_stats_tax,
     "R-X3": experiment_x3_fault_goodput,
     "R-X4": experiment_x4_crash_mttr,
+    "R-X5": experiment_x5_bus_chaos,
 }
 
 

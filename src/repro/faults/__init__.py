@@ -11,6 +11,7 @@ This package must stay import-light: ``repro.controlplane`` and
 
 from repro.faults.errors import (
     InjectedFault,
+    MessageLost,
     ServerCrashed,
     ShardUnavailable,
     TransientError,
@@ -25,9 +26,15 @@ from repro.faults.schedule import (
     FaultSchedule,
     FaultSpec,
     HostFlap,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplicate,
+    MessageFault,
+    MessageReorder,
     ServerCrash,
     ShardCrash,
     SPEC_KINDS,
+    TopicPartition,
     random_fault_schedule,
     standard_fault_schedule,
 )
@@ -46,11 +53,18 @@ __all__ = [
     "FaultTargets",
     "HostFlap",
     "InjectedFault",
+    "MessageDelay",
+    "MessageDrop",
+    "MessageDuplicate",
+    "MessageFault",
+    "MessageLost",
+    "MessageReorder",
     "ServerCrash",
     "ServerCrashed",
     "ShardCrash",
     "ShardUnavailable",
     "SPEC_KINDS",
+    "TopicPartition",
     "TransientError",
     "random_fault_schedule",
     "standard_fault_schedule",

@@ -1,4 +1,4 @@
-"""Chaos crash-sweeps: randomized server crashes vs the exactly-once invariant.
+"""Chaos sweeps: randomized faults vs the exactly-once invariant.
 
 The recovery subsystem's contract (``docs/recovery.md``) is that a
 management-server crash at *any* point in *any* workload leaves every
@@ -9,12 +9,20 @@ its adversary costs, so this module sweeps randomized crash points
 (timing, downtime, workload seed) and asserts the invariant after every
 run.
 
+The message bus (``docs/bus.md``) extends the contract to the transport:
+with every control-plane hop bus-mediated, dropped / duplicated /
+delayed / reordered / partitioned messages must not lose or duplicate a
+terminal task state either. ``run_message_fault_point`` /
+``message_fault_sweep`` are the crash-sweep analogues for that layer.
+
 Used three ways:
 
-- ``tests/faults/test_crash_sweep.py`` — a bounded sweep in tier-1;
-- CI's chaos job — a larger fixed-seed sweep;
-- ``python -m repro.faults.chaos --seeds 20 --points 10`` — the full
-  acceptance sweep (200 crash points).
+- ``tests/faults/test_crash_sweep.py`` and
+  ``tests/faults/test_message_chaos.py`` — bounded sweeps in tier-1;
+- CI's chaos job — larger fixed-seed sweeps;
+- ``python -m repro.faults.chaos --seeds 20 --points 10`` (add
+  ``--mode message`` for the bus sweep) — the full acceptance sweeps
+  (200 points each).
 """
 
 from __future__ import annotations
@@ -219,27 +227,254 @@ def crash_sweep(
     return results
 
 
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "reorder", "partition")
+
+
+@dataclasses.dataclass
+class MessageFaultResult:
+    """Outcome of one bus-mediated storm run with one message-fault window."""
+
+    seed: int
+    kind: str
+    intensity: float
+    fault_at_s: float
+    fault_duration_s: float
+    completed: int
+    failed: int
+    dead_letters: int
+    published: int
+    delivered: int
+    redelivered: int
+    deduped: int
+    dropped: int
+    makespan_s: float
+    mean_queue_wait_s: float
+    violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def goodput_per_hour(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed * 3600.0 / self.makespan_s
+
+
+def _message_spec(kind: str, intensity: float, start_s: float, duration_s: float):
+    """Build the MessageFault spec for one sweep point."""
+    from repro.faults.schedule import (
+        MessageDelay,
+        MessageDrop,
+        MessageDuplicate,
+        MessageReorder,
+        TopicPartition,
+    )
+
+    if kind == "drop":
+        return MessageDrop(start_s, duration_s, rate=intensity)
+    if kind == "duplicate":
+        return MessageDuplicate(start_s, duration_s, rate=intensity)
+    if kind == "delay":
+        return MessageDelay(start_s, duration_s, delay_s=intensity)
+    if kind == "reorder":
+        return MessageReorder(start_s, duration_s, rate=intensity)
+    if kind == "partition":
+        return TopicPartition(start_s, duration_s)
+    raise ValueError(f"unknown message fault kind {kind!r}; known: {MESSAGE_FAULT_KINDS}")
+
+
+def run_message_fault_point(
+    seed: int,
+    kind: str | None,
+    intensity: float,
+    fault_at_s: float = 5.0,
+    fault_duration_s: float = 30.0,
+    total: int = 12,
+    concurrency: int = 4,
+    linked: bool = True,
+    crash_at_s: float | None = None,
+    downtime_s: float = 30.0,
+) -> MessageFaultResult:
+    """One bus-mediated clone storm with one message-fault window.
+
+    Every hop (gateway→director, director→task-manager, task-manager→
+    host-agent) rides the bus (``direct_calls=False``) with the journal
+    on, so at-least-once redelivery and idempotency-key dedup are both in
+    play. ``kind=None`` runs the no-fault bus baseline. ``crash_at_s``
+    optionally overlays a :class:`~repro.faults.ServerCrash` restart
+    window — the R-X5 restart-storm cells compose both fault layers.
+    """
+    from repro.controlplane.costs import ControlPlaneConfig
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.core.experiments import StormRig
+    from repro.faults.injector import FaultInjector, FaultTargets
+    from repro.faults.schedule import FaultSchedule, ServerCrash
+
+    config = ControlPlaneConfig(
+        max_inflight_tasks=max(1, concurrency - 1),
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, max_backoff_s=10.0, jitter=0.5
+        ),
+    )
+    rig = StormRig(
+        seed=seed,
+        hosts=8,
+        datastores=2,
+        config=config,
+        journal=True,
+        bus=True,
+        direct_calls=False,
+    )
+    specs = []
+    if kind is not None:
+        specs.append(_message_spec(kind, intensity, fault_at_s, fault_duration_s))
+    if crash_at_s is not None:
+        specs.append(ServerCrash(start_s=crash_at_s, duration_s=downtime_s, count=1))
+    injector = None
+    if specs:
+        injector = FaultInjector(
+            rig.sim,
+            FaultTargets.for_server(rig.server),
+            FaultSchedule(specs),
+            rng=rig.streams.stream("chaos-injector"),
+        ).start()
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=linked)
+    if injector is not None:
+        drain = rig.sim.spawn(injector.drain(), name="chaos-drain")
+        rig.sim.run(until=drain)
+    rig.sim.run()
+    if rig.sim.peek() != float("inf"):
+        raise RuntimeError("simulation did not quiesce after the message fault run")
+    stats = rig.bus.topic_stats()
+    waits = sum(s.waits for s in stats.values())
+    total_wait = sum(s.total_wait_s for s in stats.values())
+    return MessageFaultResult(
+        seed=seed,
+        kind=kind or "none",
+        intensity=intensity if kind is not None else 0.0,
+        fault_at_s=fault_at_s if kind is not None else 0.0,
+        fault_duration_s=fault_duration_s if kind is not None else 0.0,
+        completed=len(rig.server.tasks.succeeded()),
+        failed=len(rig.server.tasks.failed()),
+        dead_letters=len(rig.server.tasks.dead_letters),
+        published=sum(s.published for s in stats.values()),
+        delivered=sum(s.delivered for s in stats.values()),
+        redelivered=sum(s.redelivered for s in stats.values()),
+        deduped=sum(s.deduped for s in stats.values()),
+        dropped=sum(s.dropped for s in stats.values()),
+        makespan_s=summary["makespan_s"],
+        mean_queue_wait_s=total_wait / waits if waits else 0.0,
+        violations=check_exactly_once(rig.server),
+    )
+
+
+def message_fault_sweep(
+    seeds: typing.Iterable[int],
+    points_per_seed: int = 10,
+    rng: random.Random | None = None,
+    total: int = 12,
+    concurrency: int = 4,
+) -> list[MessageFaultResult]:
+    """Randomized message faults across seeds; returns every run's result.
+
+    Fault kinds cycle through drop/duplicate/delay/reorder/partition;
+    intensities and window timing are drawn from a separate stream so
+    adding sweep points never perturbs the workloads. Defaults give the
+    R-X5 acceptance shape: 20 seeds x 10 points = 200 fault points.
+    """
+    rng = rng or random.Random(0xB005)
+    results: list[MessageFaultResult] = []
+    for seed in seeds:
+        for point in range(points_per_seed):
+            kind = MESSAGE_FAULT_KINDS[point % len(MESSAGE_FAULT_KINDS)]
+            if kind == "drop":
+                intensity = rng.uniform(0.1, 0.6)
+            elif kind == "duplicate":
+                intensity = rng.uniform(0.1, 0.5)
+            elif kind == "delay":
+                intensity = rng.uniform(0.5, 5.0)
+            elif kind == "reorder":
+                intensity = rng.uniform(0.2, 0.8)
+            else:
+                intensity = 0.0
+            fault_at = rng.uniform(1.0, 40.0)
+            duration = rng.uniform(10.0, 60.0)
+            results.append(
+                run_message_fault_point(
+                    seed,
+                    kind,
+                    intensity,
+                    fault_at_s=fault_at,
+                    fault_duration_s=duration,
+                    total=total,
+                    concurrency=concurrency,
+                    linked=True,
+                )
+            )
+    return results
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
     """CLI: ``python -m repro.faults.chaos --seeds 20 --points 10``."""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="repro.faults.chaos",
-        description="Sweep randomized server crashes; assert exactly-once recovery.",
+        description="Sweep randomized faults; assert exactly-once semantics.",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("crash", "message"),
+        default="crash",
+        help="crash: server-crash sweep; message: bus message-fault sweep",
     )
     parser.add_argument("--seeds", type=int, default=20, help="number of workload seeds")
-    parser.add_argument("--points", type=int, default=10, help="crash points per seed")
+    parser.add_argument("--points", type=int, default=10, help="fault points per seed")
     parser.add_argument("--total", type=int, default=12, help="clones per storm")
     parser.add_argument("--concurrency", type=int, default=4)
     parser.add_argument(
-        "--sweep-seed", type=int, default=0xC4A5, help="seed for crash-point draws"
+        "--sweep-seed", type=int, default=None, help="seed for fault-point draws"
     )
     args = parser.parse_args(argv)
 
+    if args.mode == "message":
+        sweep_seed = 0xB005 if args.sweep_seed is None else args.sweep_seed
+        results = message_fault_sweep(
+            range(args.seeds),
+            points_per_seed=args.points,
+            rng=random.Random(sweep_seed),
+            total=args.total,
+            concurrency=args.concurrency,
+        )
+        bad = [r for r in results if not r.ok]
+        print(
+            f"message sweep: {len(results)} fault points across {args.seeds} seeds — "
+            f"{sum(r.published for r in results)} published, "
+            f"{sum(r.redelivered for r in results)} redelivered, "
+            f"{sum(r.deduped for r in results)} deduped, "
+            f"{sum(r.dropped for r in results)} dropped in transit, "
+            f"{sum(r.dead_letters for r in results)} dead-lettered"
+        )
+        if bad:
+            for result in bad:
+                print(
+                    f"FAIL seed={result.seed} kind={result.kind} "
+                    f"intensity={result.intensity:.2f} at={result.fault_at_s:.1f}s:"
+                )
+                for violation in result.violations:
+                    print(f"  - {violation}")
+            print(f"{len(bad)}/{len(results)} fault points violated exactly-once")
+            return 1
+        print("exactly-once invariant held at every message-fault point")
+        return 0
+
+    sweep_seed = 0xC4A5 if args.sweep_seed is None else args.sweep_seed
     results = crash_sweep(
         range(args.seeds),
         points_per_seed=args.points,
-        rng=random.Random(args.sweep_seed),
+        rng=random.Random(sweep_seed),
         total=args.total,
         concurrency=args.concurrency,
     )

@@ -38,3 +38,15 @@ class ServerCrashed(TransientError):
     manager guarantees a retried submission never duplicates work that
     the journal already accounts for.
     """
+
+
+class MessageLost(TransientError):
+    """The message bus gave up on a message.
+
+    Raised into the publisher's reply when a message exhausts its
+    redelivery budget (repeatedly dropped in transit), is shed by a
+    bounded queue's overflow policy, or dead-lettered on arrival at a
+    full queue. Transient: the send itself may be retried — consumers
+    deduplicate by idempotency key, so a retried send never re-executes
+    work a late copy already performed.
+    """

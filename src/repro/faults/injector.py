@@ -126,6 +126,20 @@ class FaultTargets:
     def copy_hooks(self) -> list["FaultHook"]:
         return [server.copy_engine.faults for server in self.servers]
 
+    def buses(self) -> list:
+        """Mediated message buses across the target servers.
+
+        Duck-typed (``bus.mediated``) to keep this module free of
+        ``repro.controlplane`` imports; direct-call rigs yield an empty
+        list, so message-fault specs arm as no-ops there.
+        """
+        out = []
+        for server in self.servers:
+            bus = getattr(server, "bus", None)
+            if bus is not None and getattr(bus, "mediated", False):
+                out.append(bus)
+        return out
+
     # -- host flaps --------------------------------------------------------
 
     def flap_down(self, host: Host) -> None:

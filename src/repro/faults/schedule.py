@@ -21,6 +21,14 @@ Spec catalogue:
 ``server_crash``    the named management servers crash outright: in-flight
                     task processes are aborted, submissions rejected, and
                     the restart (at window end) replays the task journal
+``message_drop``    bus messages vanish in transit with probability
+                    ``rate`` (redelivery timers resend them)
+``message_duplicate``  delivered bus messages are cloned with probability
+                    ``rate`` (consumers deduplicate by idempotency key)
+``message_delay``   bus publishes stall ``delay_s`` before enqueueing
+``message_reorder`` bus messages jump the queue with probability ``rate``
+``topic_partition`` bus topics stop delivering entirely for the window
+                    (queues build; healing drains them)
 ==================  =========================================================
 
 Targets are referenced *by name* (host names, datastore names, server
@@ -267,6 +275,138 @@ class ServerCrash(FaultSpec):
             server.restart(token)
 
 
+@dataclasses.dataclass(frozen=True)
+class MessageFault(FaultSpec):
+    """Shared skeleton for bus-level message faults.
+
+    Targets every mediated bus (direct-call rigs have none, so these
+    windows arm as no-ops there — random schedules stay portable).
+    ``topics`` narrows the blast radius to the named topics; empty means
+    every topic on the bus.
+    """
+
+    topics: tuple[str, ...] = ()
+
+    def select(self, targets, rng):
+        return targets.buses()
+
+    def _scope(self) -> tuple[str, ...] | None:
+        return self.topics or None
+
+    def describe(self, selection):
+        scope = ",".join(self.topics) if self.topics else "*"
+        return f"{self.kind}[{scope}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDrop(MessageFault):
+    """Bus messages vanish in transit with probability ``rate``."""
+
+    rate: float = 0.3
+
+    kind: typing.ClassVar[str] = "message_drop"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+
+    def arm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.set_drop(token, self.rate, topics=self._scope())
+
+    def disarm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.disarm(token)
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDuplicate(MessageFault):
+    """Delivered bus messages are cloned with probability ``rate``."""
+
+    rate: float = 0.3
+
+    kind: typing.ClassVar[str] = "message_duplicate"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+
+    def arm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.set_duplicate(token, self.rate, topics=self._scope())
+
+    def disarm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.disarm(token)
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDelay(MessageFault):
+    """Bus publishes stall ``delay_s`` before enqueueing."""
+
+    delay_s: float = 2.0
+
+    kind: typing.ClassVar[str] = "message_delay"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_s <= 0.0:
+            raise ValueError("delay_s must be > 0")
+
+    def arm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.set_delay(token, self.delay_s, topics=self._scope())
+
+    def disarm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.disarm(token)
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageReorder(MessageFault):
+    """Bus messages jump the queue with probability ``rate``."""
+
+    rate: float = 0.5
+
+    kind: typing.ClassVar[str] = "message_reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+
+    def arm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.set_reorder(token, self.rate, topics=self._scope())
+
+    def disarm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.disarm(token)
+
+
+@dataclasses.dataclass(frozen=True)
+class TopicPartition(MessageFault):
+    """Bus topics stop delivering for the window; healing drains them.
+
+    Redelivery timers keep firing during the partition but re-queued
+    messages stay parked, so a long partition can exhaust a message's
+    redelivery budget — exactly the at-least-once-then-give-up semantics
+    the dead-letter path exists for.
+    """
+
+    kind: typing.ClassVar[str] = "topic_partition"
+
+    def arm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.set_partition(token, topics=self._scope())
+
+    def disarm(self, targets, token, selection):
+        for bus in selection:
+            bus.faults.disarm(token)
+
+
 SPEC_KINDS: dict[str, type[FaultSpec]] = {
     spec.kind: spec
     for spec in (
@@ -277,6 +417,11 @@ SPEC_KINDS: dict[str, type[FaultSpec]] = {
         CopyFlakiness,
         ShardCrash,
         ServerCrash,
+        MessageDrop,
+        MessageDuplicate,
+        MessageDelay,
+        MessageReorder,
+        TopicPartition,
     )
 }
 
@@ -324,7 +469,7 @@ class FaultSchedule:
                     f"unknown fault kind {kind!r}; known: {sorted(SPEC_KINDS)}"
                 )
             spec_cls = SPEC_KINDS[kind]
-            for name in ("hosts", "datastores", "shards"):
+            for name in ("hosts", "datastores", "shards", "topics"):
                 if name in fields:
                     fields[name] = tuple(fields[name])
             schedule.add(spec_cls(**fields))
@@ -386,7 +531,11 @@ def random_fault_schedule(
     max_specs: int = 6,
 ) -> FaultSchedule:
     """A randomized schedule for property tests: any mix of fault kinds,
-    windows anywhere in ``[0, duration_s)``, always bounded."""
+    windows anywhere in ``[0, duration_s)``, always bounded.
+
+    Message-fault kinds target mediated buses only; on direct-call rigs
+    they arm as no-ops, so the same schedule runs on either topology.
+    """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     schedule = FaultSchedule()
@@ -395,7 +544,9 @@ def random_fault_schedule(
         duration = rng.uniform(duration_s * 0.05, duration_s * 0.5)
         kind = rng.choice(
             ["host_flap", "agent_degrade", "db_slowdown", "copy_flakiness",
-             "datastore_outage", "shard_crash", "server_crash"]
+             "datastore_outage", "shard_crash", "server_crash",
+             "message_drop", "message_duplicate", "message_delay",
+             "message_reorder", "topic_partition"]
         )
         if kind == "host_flap":
             schedule.add(HostFlap(start, duration, count=rng.randint(1, 3)))
@@ -417,6 +568,16 @@ def random_fault_schedule(
             schedule.add(DatastoreOutage(start, duration, count=1))
         elif kind == "shard_crash":
             schedule.add(ShardCrash(start, duration, count=1))
-        else:
+        elif kind == "server_crash":
             schedule.add(ServerCrash(start, duration, count=1))
+        elif kind == "message_drop":
+            schedule.add(MessageDrop(start, duration, rate=rng.uniform(0.1, 0.6)))
+        elif kind == "message_duplicate":
+            schedule.add(MessageDuplicate(start, duration, rate=rng.uniform(0.1, 0.5)))
+        elif kind == "message_delay":
+            schedule.add(MessageDelay(start, duration, delay_s=rng.uniform(0.5, 5.0)))
+        elif kind == "message_reorder":
+            schedule.add(MessageReorder(start, duration, rate=rng.uniform(0.2, 0.8)))
+        else:
+            schedule.add(TopicPartition(start, duration))
     return schedule

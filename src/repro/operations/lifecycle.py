@@ -67,7 +67,9 @@ class ReconfigureVM(Operation):
                 task,
                 "reconfigure",
                 CONTROL,
-                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                lambda span: agent.call(
+                    "reconfigure", costs.host_reconfigure_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             if self.vcpus is not None:
@@ -121,7 +123,9 @@ class CreateSnapshot(Operation):
                 task,
                 "snapshot",
                 CONTROL,
-                lambda span: agent.call("snapshot", costs.host_snapshot_s, span=span),
+                lambda span: agent.call(
+                    "snapshot", costs.host_snapshot_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             snapshot = self.vm.take_snapshot(self.snapshot_name)
@@ -210,7 +214,9 @@ class DeleteSnapshot(Operation):
                 task,
                 "consolidate_host",
                 CONTROL,
-                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                lambda span: agent.call(
+                    "reconfigure", costs.host_reconfigure_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             self.vm.snapshots.pop()
@@ -264,7 +270,9 @@ class DestroyVM(Operation):
                 task,
                 "destroy_host",
                 CONTROL,
-                lambda span: agent.call("destroy", costs.host_destroy_s, span=span),
+                lambda span: agent.call(
+                    "destroy", costs.host_destroy_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             # Reclaim only backings unique to this VM (children == 0 leaves);

@@ -183,7 +183,9 @@ class ExitMaintenance(Operation):
             task,
             "reconnect",
             CONTROL,
-            lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+            lambda span: agent.call(
+                "reconfigure", costs.host_reconfigure_s, span=span, task=task
+            ),
             tag=PHASE_AGENT,
         )
         yield from self.timed(

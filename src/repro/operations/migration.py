@@ -79,7 +79,7 @@ class MigrateVM(Operation):
                     name,
                     CONTROL,
                     lambda span, h=host: server.agent(h).call(
-                        "migrate_prep", costs.host_migrate_prep_s, span=span
+                        "migrate_prep", costs.host_migrate_prep_s, span=span, task=task
                     ),
                     tag=PHASE_AGENT,
                 )
@@ -100,7 +100,7 @@ class MigrateVM(Operation):
                 "switchover",
                 CONTROL,
                 lambda span: server.agent(self.destination).call(
-                    "migrate_prep", costs.host_migrate_prep_s, span=span
+                    "migrate_prep", costs.host_migrate_prep_s, span=span, task=task
                 ),
                 tag=PHASE_AGENT,
             )
@@ -152,7 +152,9 @@ class StorageMigrateVM(Operation):
                 task,
                 "prep",
                 CONTROL,
-                lambda span: agent.call("migrate_prep", costs.host_migrate_prep_s, span=span),
+                lambda span: agent.call(
+                    "migrate_prep", costs.host_migrate_prep_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             for index, disk in enumerate(self.vm.disks):

@@ -64,7 +64,7 @@ class _PowerOperation(Operation):
                     self.host_call,
                     CONTROL,
                     lambda span: agent.call(
-                        self.host_call, self._host_median(server), span=span
+                        self.host_call, self._host_median(server), span=span, task=task
                     ),
                     tag=PHASE_AGENT,
                 )

@@ -120,7 +120,7 @@ class CloneVM(Operation):
                 "register_vm",
                 CONTROL,
                 lambda span: agent.call(
-                    "register_vm", costs.host_register_vm_s, span=span
+                    "register_vm", costs.host_register_vm_s, span=span, task=task
                 ),
                 tag=PHASE_AGENT,
             )
@@ -141,7 +141,7 @@ class CloneVM(Operation):
                     "power_on",
                     CONTROL,
                     lambda span: agent.call(
-                        "power_on", costs.host_power_on_s, span=span
+                        "power_on", costs.host_power_on_s, span=span, task=task
                     ),
                     tag=PHASE_AGENT,
                 )
@@ -183,7 +183,9 @@ class CloneVM(Operation):
                 task,
                 "anchor_snapshot",
                 CONTROL,
-                lambda span: agent.call("snapshot", costs.host_snapshot_s, span=span),
+                lambda span: agent.call(
+                    "snapshot", costs.host_snapshot_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
             yield from self.timed(
@@ -203,7 +205,7 @@ class CloneVM(Operation):
                 f"create_delta_{index}",
                 CONTROL,
                 lambda span: agent.call(
-                    "create_disk", costs.host_create_disk_s, span=span
+                    "create_disk", costs.host_create_disk_s, span=span, task=task
                 ),
                 tag=PHASE_AGENT,
             )
@@ -235,7 +237,7 @@ class CloneVM(Operation):
                 f"create_disk_{index}",
                 CONTROL,
                 lambda span: agent.call(
-                    "create_disk", costs.host_create_disk_s, span=span
+                    "create_disk", costs.host_create_disk_s, span=span, task=task
                 ),
                 tag=PHASE_AGENT,
             )
@@ -367,7 +369,7 @@ class DeployFromTemplate(Operation):
             "customize_host",
             CONTROL,
             lambda span: agent.call(
-                "reconfigure", costs.host_reconfigure_s, span=span
+                "reconfigure", costs.host_reconfigure_s, span=span, task=task
             ),
             tag=PHASE_AGENT,
         )
@@ -384,7 +386,9 @@ class DeployFromTemplate(Operation):
             task,
             "power_on",
             CONTROL,
-            lambda span: agent.call("power_on", costs.host_power_on_s, span=span),
+            lambda span: agent.call(
+                "power_on", costs.host_power_on_s, span=span, task=task
+            ),
             tag=PHASE_AGENT,
         )
         vm.power_state = PowerState.ON

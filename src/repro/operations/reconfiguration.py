@@ -66,7 +66,9 @@ class RescanDatastore(Operation):
             lambda span: _fan_out(
                 server,
                 [
-                    server.agent(host).call("rescan", costs.host_rescan_s, span=span)
+                    server.agent(host).call(
+                        "rescan", costs.host_rescan_s, span=span, task=task
+                    )
                     for host in mounting
                     if host.is_usable
                 ],
@@ -120,7 +122,9 @@ class AddHost(Operation):
             task,
             "connect_handshake",
             CONTROL,
-            lambda span: agent.call("add_connect", costs.host_add_connect_s, span=span),
+            lambda span: agent.call(
+                "add_connect", costs.host_add_connect_s, span=span, task=task
+            ),
             tag=PHASE_AGENT,
         )
         server.inventory.register(self.host)
@@ -145,7 +149,7 @@ class AddHost(Operation):
             lambda span: _fan_out(
                 server,
                 [
-                    agent.call("rescan", costs.host_rescan_s, span=span)
+                    agent.call("rescan", costs.host_rescan_s, span=span, task=task)
                     for _ in self.mount_datastores
                 ],
             ),
@@ -170,7 +174,9 @@ class AddHost(Operation):
                 task,
                 "network_config",
                 CONTROL,
-                lambda span: agent.call("reconfigure", costs.host_reconfigure_s, span=span),
+                lambda span: agent.call(
+                    "reconfigure", costs.host_reconfigure_s, span=span, task=task
+                ),
                 tag=PHASE_AGENT,
             )
         yield from self.timed(
@@ -230,7 +236,9 @@ class AddDatastore(Operation):
             lambda span: _fan_out(
                 server,
                 [
-                    server.agent(host).call("rescan", costs.host_rescan_s, span=span)
+                    server.agent(host).call(
+                        "rescan", costs.host_rescan_s, span=span, task=task
+                    )
                     for host in self.hosts
                     if host.is_usable
                 ],
@@ -289,7 +297,7 @@ class NetworkReconfig(Operation):
                 server,
                 [
                     server.agent(host).call(
-                        "reconfigure", costs.host_reconfigure_s, span=span
+                        "reconfigure", costs.host_reconfigure_s, span=span, task=task
                     )
                     for host in hosts
                 ],

@@ -33,6 +33,7 @@ from repro.tracing.span import (
     NULL_SPAN,
     PHASE_ADMISSION,
     PHASE_AGENT,
+    PHASE_BUS,
     PHASE_COPY,
     PHASE_CPU,
     PHASE_DB,
@@ -62,6 +63,7 @@ __all__ = [
     "NullTracer",
     "PHASE_ADMISSION",
     "PHASE_AGENT",
+    "PHASE_BUS",
     "PHASE_COPY",
     "PHASE_CPU",
     "PHASE_DB",

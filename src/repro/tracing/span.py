@@ -42,6 +42,7 @@ PHASE_LOCK = "lock"            # inventory lock acquisition
 PHASE_REQUEST = "request"      # director request / per-VM framing
 PHASE_EVENTLOG = "eventlog"    # event-log flush machinery
 PHASE_RECOVERY = "recovery"    # post-crash journal replay + reconciliation
+PHASE_BUS = "bus"              # message-bus publish/deliver/redeliver hops
 
 PHASES = (
     PHASE_TASK,
@@ -57,6 +58,7 @@ PHASES = (
     PHASE_REQUEST,
     PHASE_EVENTLOG,
     PHASE_RECOVERY,
+    PHASE_BUS,
 )
 
 # Phases that are data-plane work; everything else is control-plane.

@@ -10,6 +10,13 @@ Randomized schedules include ``server_crash`` windows (the management
 server halts, in-flight work is interrupted, and a restart replays the
 recovery path), so the property also covers crash/recovery quiescence:
 the server must end restarted and every crash-parked task adjudicated.
+
+Schedules also include the ``message_*`` / ``topic_partition`` kinds;
+with ``bus=True`` the same storm runs fully bus-mediated, so the
+property additionally covers transport chaos: dropped, duplicated,
+delayed, reordered, and partitioned messages must still quiesce with
+every task accounted and the bus fault hook disarmed. (With ``bus=False``
+those windows arm as no-ops — the schedule stays portable.)
 """
 
 import random
@@ -33,8 +40,12 @@ from repro.sim.events import AllOf
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(seed=st.integers(min_value=0, max_value=2**16), resilient=st.booleans())
-def test_every_started_task_is_accounted_for(seed, resilient):
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    resilient=st.booleans(),
+    bus=st.booleans(),
+)
+def test_every_started_task_is_accounted_for(seed, resilient, bus):
     duration = 300.0
     if resilient:
         config = ControlPlaneConfig(
@@ -48,7 +59,10 @@ def test_every_started_task_is_accounted_for(seed, resilient):
         config = ControlPlaneConfig()
         director_policy = NO_RETRY
 
-    rig = StormRig(seed=seed, hosts=4, datastores=2, config=config)
+    rig = StormRig(
+        seed=seed, hosts=4, datastores=2, config=config,
+        bus=bus, direct_calls=not bus,
+    )
     catalog = Catalog("prop")
     item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
     org = Organization("org", quota_vms=10_000, quota_storage_gb=1e6)
@@ -123,3 +137,5 @@ def test_every_started_task_is_accounted_for(seed, resilient):
     assert not rig.server.faults.armed
     for host in rig.hosts:
         assert not rig.server.agent(host).faults.armed
+    if rig.bus is not None and rig.bus.mediated:
+        assert not rig.bus.faults.armed

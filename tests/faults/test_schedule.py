@@ -87,6 +87,11 @@ def test_spec_kinds_registry_complete():
         "copy_flakiness",
         "shard_crash",
         "server_crash",
+        "message_drop",
+        "message_duplicate",
+        "message_delay",
+        "message_reorder",
+        "topic_partition",
     }
 
 
