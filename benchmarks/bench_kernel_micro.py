@@ -202,3 +202,51 @@ def test_storm_bus_on_throughput(benchmark):
     """48 linked clones, concurrency 12, all hops through the message bus."""
     completed = benchmark(run_storm_bus_on, 48, 12)
     assert completed == 48
+
+
+def run_storm_triage_on(total, concurrency):
+    """The telemetry storm with the incident triage engine attached.
+
+    Triage subscribes to the SLO monitor's fire hook and only does work
+    when an alert fires, so a healthy storm's cost is the scrape + rule
+    evaluation cadence plus the armed listener — this rate guards the
+    "triage attached, nothing burning" overhead against the telemetry-on
+    baseline.
+    """
+    from repro.core.experiments import StormRig
+    from repro.telemetry.slo import AvailabilityRule, BurnWindow, RatioRule
+
+    rig = StormRig(
+        seed=0, hosts=8, datastores=2, telemetry=True,
+        scrape_interval_s=5.0, triage=True,
+    )
+    windows = (BurnWindow(short_s=60.0, long_s=180.0, threshold=2.0),)
+    rig.telemetry.add_rule(
+        AvailabilityRule(
+            name="host-availability", objective=0.99,
+            metric_prefix="host_up", windows=windows,
+        )
+    )
+    rig.telemetry.add_rule(
+        RatioRule(
+            name="task-goodput",
+            objective=0.98,
+            bad_metric='tasks_completed_total{outcome="error"}',
+            total_metrics=(
+                'tasks_completed_total{outcome="success"}',
+                'tasks_completed_total{outcome="error"}',
+            ),
+            windows=windows,
+        )
+    )
+    rig.telemetry.start()
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=True)
+    assert not rig.triage.is_null
+    assert rig.telemetry.scraper.scrapes > 0
+    return int(summary["completed"])
+
+
+def test_storm_triage_on_throughput(benchmark):
+    """48 linked clones, concurrency 12, telemetry + triage listener armed."""
+    completed = benchmark(run_storm_triage_on, 48, 12)
+    assert completed == 48

@@ -1,0 +1,35 @@
+"""R-X6 (extension): automated incident triage vs injected ground truth.
+
+Twenty randomized single-fault chaos runs (two per sweep kind) on the
+bus-mediated resilient deploy storm; the triage engine turns SLO alert
+bursts into ranked root-cause verdicts and the scorer grades them against
+the injector's resolved manifest. Expected shape: every sweep kind is
+injected and scored, the pooled top-1 fault-kind accuracy clears 0.8 and
+window recall clears 0.7 (the ISSUE gates), named-kind precision stays
+high (the no-culprit path absorbs unexplained alerts instead of
+mis-naming), and the notes carry the pooled confusion matrix.
+"""
+
+
+def test_bench_x6_triage(exhibit):
+    result = exhibit("R-X6")
+
+    rows = {row[0]: row for row in result.rows}
+    assert "overall" in rows
+
+    # Every sweep kind was injected at least once and landed a row.
+    from repro.triage.harness import QUICK_KINDS, SWEEP_KINDS
+
+    expected = set(QUICK_KINDS) if len(result.rows) <= len(QUICK_KINDS) + 2 \
+        else set(SWEEP_KINDS)
+    assert expected <= {label for label in rows if label != "overall"}
+    for kind in expected:
+        assert int(rows[kind][1]) >= 1  # injected
+
+    # The ISSUE gates, recomputed from the overall row.
+    overall = rows["overall"]
+    injected, recalled = int(overall[1]), int(overall[2])
+    assert recalled / injected >= 0.7  # window recall
+    assert float(overall[4]) >= 0.8  # pooled precision
+    assert "PASS" in result.notes
+    assert "confusion matrix" in result.notes

@@ -33,6 +33,7 @@ from bench_kernel_micro import (  # noqa: E402
     run_storm_bus_on,
     run_storm_journal_on,
     run_storm_telemetry_off,
+    run_storm_triage_on,
     run_timeout_chain,
 )
 
@@ -48,6 +49,7 @@ BENCHES = {
     "storm_telemetry_off": (run_storm_telemetry_off, (48, 12), 48, "linked clones"),
     "storm_journal_on": (run_storm_journal_on, (48, 12), 48, "linked clones"),
     "storm_bus_on": (run_storm_bus_on, (48, 12), 48, "linked clones"),
+    "storm_triage_on": (run_storm_triage_on, (48, 12), 48, "linked clones"),
 }
 
 

@@ -167,6 +167,54 @@ def critical_path(root: Span) -> list[CriticalSegment]:
     return segments
 
 
+def roots_in_window(tracer: Tracer, start_s: float, end_s: float) -> list[Span]:
+    """Finished root spans overlapping ``[start_s, end_s]``, in start order.
+
+    The triage engine asks this around an alert's firing time; overlap
+    (not containment) keeps long-running operations that *straddle* the
+    window visible, since those are usually the interesting ones.
+    """
+    return sorted(
+        (
+            root
+            for root in tracer.roots()
+            if root.finished and root.end > start_s and root.start < end_s
+        ),
+        key=lambda root: (root.start, root.context.span_id),
+    )
+
+
+def window_phase_attribution(
+    tracer: Tracer, start_s: float, end_s: float
+) -> dict[str, float]:
+    """Exclusive seconds per phase over roots active in a time window.
+
+    Each root's attribution is weighted by the fraction of the root's
+    interval inside the window — an approximation (phases are not spread
+    uniformly across an operation), but it keeps work that merely
+    straddles the window from dominating it.
+    """
+    if end_s <= start_s:
+        return {}
+    totals: dict[str, float] = {}
+    for root in roots_in_window(tracer, start_s, end_s):
+        overlap = min(root.end, end_s) - max(root.start, start_s)
+        weight = overlap / root.duration if root.duration > 0 else 1.0
+        for phase, seconds in phase_attribution(root).items():
+            totals[phase] = totals.get(phase, 0.0) + seconds * weight
+    return totals
+
+
+def slowest_root_in_window(
+    tracer: Tracer, start_s: float, end_s: float
+) -> Span | None:
+    """The longest finished root overlapping the window (triage drill-down)."""
+    roots = roots_in_window(tracer, start_s, end_s)
+    if not roots:
+        return None
+    return max(roots, key=lambda root: (root.duration, -root.start))
+
+
 def critical_path_length(segments: typing.Sequence[CriticalSegment]) -> float:
     return sum(segment.duration for segment in segments)
 

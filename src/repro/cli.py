@@ -18,6 +18,9 @@ Commands:
   roll-ups rendered as a ``top``-style dashboard (utilization, queue
   depths, breaker states, retry budget, burn-rate alerts), with
   Prometheus-text and JSONL exports.
+- ``triage`` — a single-fault chaos run with the incident-triage engine
+  attached: every SLO alert burst becomes a ranked root-cause verdict
+  with its evidence chain, graded against the injected ground truth.
 - ``list`` — enumerate profiles and experiments.
 """
 
@@ -135,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="scrape cadence in sim seconds")
     metrics_cmd.add_argument("--no-faults", action="store_true",
                              help="run the storm without the fault schedule")
+    metrics_cmd.add_argument("--triage", action="store_true",
+                             help="attach the incident-triage engine and append "
+                             "its verdict drill-down to the dashboard")
     metrics_cmd.add_argument(
         "--prom-out", help="write Prometheus text exposition of the final state"
     )
@@ -161,6 +167,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault window start in sim seconds")
     bus_cmd.add_argument("--fault-duration", type=float, default=60.0,
                          help="fault window length in sim seconds")
+
+    triage_cmd = sub.add_parser(
+        "triage",
+        help="single-fault chaos run: SLO alerts -> ranked root-cause verdicts",
+    )
+    triage_cmd.add_argument(
+        "--kind",
+        default="host_flap",
+        help="fault kind to inject (see repro.triage.harness.SWEEP_KINDS), "
+        "or 'none' for a fault-free run",
+    )
+    triage_cmd.add_argument("--seed", type=int, default=0)
+    triage_cmd.add_argument("--duration", type=float, default=600.0,
+                            help="arrival window in sim seconds")
+    triage_cmd.add_argument("--no-evidence", action="store_true",
+                            help="omit per-hypothesis evidence chains")
 
     sub.add_parser("list", help="list profiles and experiments")
     return parser
@@ -500,6 +522,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         seed=args.seed, hosts=16, datastores=4, host_memory_gb=512.0,
         costs=_dc.replace(DEFAULT_COSTS, host_call_timeout_s=20.0),
         config=config, telemetry=True, scrape_interval_s=args.interval,
+        triage=args.triage,
     )
     telemetry = rig.telemetry
     catalog = Catalog("demo")
@@ -579,7 +602,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
     telemetry.stop()
 
-    print(render_dashboard(telemetry))
+    print(render_dashboard(telemetry, triage=rig.triage))
     if args.prom_out:
         path = write_prometheus(telemetry, args.prom_out)
         print(f"wrote Prometheus exposition to {path}")
@@ -712,6 +735,44 @@ def cmd_bus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_triage(args: argparse.Namespace) -> int:
+    from repro.triage.harness import SWEEP_KINDS, run_triage_point
+
+    kind = None if args.kind == "none" else args.kind
+    if kind is not None and kind not in SWEEP_KINDS:
+        print(
+            f"error: unknown fault kind {args.kind!r} "
+            f"(choose from: none, {', '.join(SWEEP_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.duration <= 0:
+        print("error: duration must be positive", file=sys.stderr)
+        return 2
+
+    point = run_triage_point(
+        args.seed, kind, duration_s=args.duration
+    )
+    print(
+        f"chaos run: seed {point.seed}, injected "
+        f"{point.kind or 'nothing'}, {point.completed} tasks completed, "
+        f"{point.scrapes} scrapes, {point.alerts} alert firings"
+    )
+    print("\nground truth:")
+    for line in point.manifest.describe() or ["  (no faults injected)"]:
+        print(f"  {line}")
+    print("\nverdicts:")
+    if not point.verdicts:
+        print("  (no alerts fired, no verdicts)")
+    for verdict in point.verdicts:
+        for line in verdict.render(evidence=not args.no_evidence):
+            print(f"  {line}")
+    print()
+    for line in point.report.render():
+        print(line)
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -733,6 +794,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "bus": cmd_bus,
+    "triage": cmd_triage,
     "list": cmd_list,
 }
 

@@ -442,6 +442,28 @@ class MessageBus:
             bus=self.name,
             topic=name,
         )
+        # Per-topic TopicStats surfaced as cumulative probes so triage and
+        # repro-top can localize bus trouble to a topic through the
+        # scraper (probes scrape as levels; windowed increase = max - min).
+        for field, help_text in (
+            ("published", "messages published to this topic"),
+            ("delivered", "messages delivered to the consumer"),
+            ("redelivered", "redelivery timer re-sends"),
+            ("duplicated", "fault-injected duplicate copies"),
+            ("deduped", "copies suppressed by idempotency keys"),
+            ("dropped", "copies lost in transit (drop faults)"),
+            ("delayed", "publishes stalled by delay faults"),
+            ("reordered", "messages that jumped the queue"),
+            ("shed", "messages evicted by queue overflow"),
+            ("dead_lettered", "messages this topic gave up on"),
+        ):
+            self._telemetry.probe(
+                f"bus_topic_{field}",
+                lambda t=topic, f=field: float(getattr(t.stats, f)),
+                help=help_text,
+                bus=self.name,
+                topic=name,
+            )
         return topic
 
     def subscribe(self, name: str, capacity: int | None = None, overflow: str | None = None) -> Topic:

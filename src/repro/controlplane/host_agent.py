@@ -116,6 +116,7 @@ class HostAgent:
                 )
             factor = self.faults.fire()
         except Exception:
+            self.metrics.counter("call_failures").add()
             self._note_failure()
             raise
         start = self.sim.now

@@ -181,6 +181,9 @@ class ManagementServer:
             )
         telemetry.probe("server_crashed", lambda: 1.0 if self.crashed else 0.0)
         telemetry.probe(
+            "server_blocked", lambda: 1.0 if self.faults.blocked() else 0.0
+        )
+        telemetry.probe(
             "recovery_parked", lambda: float(self.recovery.parked_count)
         )
 
@@ -243,6 +246,11 @@ class ManagementServer:
             lambda a=agent: float(BREAKER_STATE_VALUE[a.breaker.state])
             if a.breaker is not None
             else 0.0,
+            host=host.name,
+        )
+        self.telemetry.probe(
+            "host_up",
+            lambda h=host: 1.0 if h.is_usable else 0.0,
             host=host.name,
         )
         if self.bus.mediated:

@@ -34,6 +34,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 from repro.telemetry.metrics import NULL_TELEMETRY, Telemetry
 from repro.tracing import NULL_TRACER, Tracer
+from repro.triage.engine import NULL_TRIAGE, TriageEngine
 from repro.workloads.arrivals import MMPPBurst, Poisson
 from repro.workloads.lifetimes import CLASSIC_DC_LIFETIME, CLOUD_A_LIFETIME
 from repro.workloads.profiles import CLASSIC_DC, CLOUD_A, CLOUD_B
@@ -84,6 +85,7 @@ class StormRig:
         journal: bool = False,
         bus: bool = False,
         direct_calls: bool = True,
+        triage: bool = False,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
@@ -116,6 +118,14 @@ class StormRig:
             telemetry=self.telemetry,
             journal=self.journal,
             bus=self.bus,
+        )
+        # triage=True subscribes the incident-triage engine to the SLO
+        # monitor's fire hook; it reads roll-ups/spans only, so schedules
+        # stay byte-identical with it attached.
+        self.triage = (
+            TriageEngine(self.telemetry, tracer=self.tracer).attach()
+            if triage and telemetry
+            else NULL_TRIAGE
         )
         inventory = self.server.inventory
         self.datacenter = inventory.create(Datacenter, name="dc")
@@ -1777,6 +1787,75 @@ def _alert_interval(telemetry, fire_event) -> _AlertInterval:
     return _AlertInterval(fire_event.time, float("inf"))
 
 
+def experiment_x6_triage(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-X6 (extension): automated incident triage scored against ground truth.
+
+    Randomized single-fault chaos runs on the bus-mediated,
+    fully-resilient deploy storm (see :mod:`repro.triage.harness`): each
+    seeded run injects one strong fault window of a rotating kind, the
+    triage engine turns every SLO alert burst into a ranked root-cause
+    verdict, and the scorer grades verdicts against the injector's
+    resolved ground-truth manifest. The exhibit reports per-kind
+    precision/recall plus the pooled confusion matrix.
+
+    Acceptance: top-1 fault-kind accuracy >= 0.8 and window recall >= 0.7
+    across the sweep.
+    """
+    from repro.triage.harness import QUICK_KINDS, SWEEP_KINDS, triage_sweep
+
+    kinds = QUICK_KINDS if quick else SWEEP_KINDS
+    seeds = range(seed, seed + (len(kinds) if quick else 2 * len(kinds)))
+    report, points = triage_sweep(seeds, kinds=kinds)
+
+    rows = []
+    for kind in sorted(report.per_kind):
+        score = report.per_kind[kind]
+        if score.injected == 0 and score.named == 0:
+            continue
+        rows.append(
+            [
+                kind,
+                score.injected,
+                score.recalled,
+                score.named,
+                f"{score.precision:.2f}",
+                f"{score.recall:.2f}",
+            ]
+        )
+    rows.append(
+        [
+            "overall",
+            sum(s.injected for s in report.per_kind.values()),
+            sum(s.recalled for s in report.per_kind.values()),
+            sum(s.named for s in report.per_kind.values()),
+            f"{report.precision:.2f}",
+            f"{report.recall:.2f}",
+        ]
+    )
+
+    gates_ok = report.top1_accuracy >= 0.8 and report.recall >= 0.7
+    notes = "\n".join(
+        [
+            f"{len(points)} randomized single-fault chaos runs, "
+            f"{report.total_verdicts} verdicts "
+            f"({report.unmatched_verdicts} outside fault windows, "
+            f"{report.correct_rejections} honest no-culprit)",
+            f"top-1 fault-kind accuracy {report.top1_accuracy:.2f} "
+            f"(gate >= 0.8), recall {report.recall:.2f} (gate >= 0.7): "
+            f"{'PASS' if gates_ok else 'FAIL'}",
+            "",
+            *report.render_confusion(),
+        ]
+    )
+    return ExperimentResult(
+        exp_id="R-X6",
+        title="Automated incident triage vs injected ground truth (extension)",
+        headers=["fault kind", "injected", "recalled", "named", "precision", "recall"],
+        rows=rows,
+        notes=notes,
+    )
+
+
 EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-T1": experiment_t1_setups,
     "R-T2": experiment_t2_opmix,
@@ -1798,6 +1877,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-X3": experiment_x3_fault_goodput,
     "R-X4": experiment_x4_crash_mttr,
     "R-X5": experiment_x5_bus_chaos,
+    "R-X6": experiment_x6_triage,
 }
 
 

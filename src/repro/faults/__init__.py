@@ -18,6 +18,11 @@ from repro.faults.errors import (
 )
 from repro.faults.hooks import ALL_KEYS, FaultHook
 from repro.faults.injector import FaultEvent, FaultInjector, FaultTargets
+from repro.faults.manifest import (
+    GroundTruthManifest,
+    GroundTruthWindow,
+    window_from_spec,
+)
 from repro.faults.schedule import (
     AgentDegrade,
     CopyFlakiness,
@@ -51,6 +56,8 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "FaultTargets",
+    "GroundTruthManifest",
+    "GroundTruthWindow",
     "HostFlap",
     "InjectedFault",
     "MessageDelay",
@@ -68,4 +75,5 @@ __all__ = [
     "TransientError",
     "random_fault_schedule",
     "standard_fault_schedule",
+    "window_from_spec",
 ]

@@ -25,6 +25,11 @@ import random
 import typing
 
 from repro.datacenter.entities import Datastore, Host, HostState
+from repro.faults.manifest import (
+    GroundTruthManifest,
+    GroundTruthWindow,
+    window_from_spec,
+)
 from repro.faults.schedule import FaultSchedule, FaultSpec
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -188,6 +193,7 @@ class FaultInjector:
         self.processes: list["Process"] = []
         self.active = 0
         self._started = False
+        self._injected: list[GroundTruthWindow] = []
 
     def start(self) -> "FaultInjector":
         """Spawn one driver process per fault window."""
@@ -213,6 +219,20 @@ class FaultInjector:
         self.metrics.counter("windows_armed").add()
         self.metrics.gauge("active_windows").set(self.active)
         self.events.append(FaultEvent(self.sim.now, "arm", description))
+        # Ground truth is recorded as *resolved*: actual arm instant and
+        # the target names drawn from the live infrastructure.
+        window_index = len(self._injected)
+        self._injected.append(
+            window_from_spec(
+                spec,
+                start_s=self.sim.now,
+                end_s=self.sim.now + spec.duration_s,
+                targets=[
+                    item.name if hasattr(item, "name") else type(item).__name__
+                    for item in selection
+                ],
+            )
+        )
         try:
             yield self.sim.timeout(spec.duration_s)
         finally:
@@ -220,6 +240,9 @@ class FaultInjector:
             self.active -= 1
             self.metrics.gauge("active_windows").set(self.active)
             self.events.append(FaultEvent(self.sim.now, "disarm", description))
+            self._injected[window_index] = dataclasses.replace(
+                self._injected[window_index], end_s=self.sim.now
+            )
 
     def drain(self) -> typing.Generator:
         """Process-style: wait until every fault window has closed."""
@@ -227,6 +250,16 @@ class FaultInjector:
 
         if self.processes:
             yield AllOf(self.sim, list(self.processes))
+
+    def ground_truth(self) -> GroundTruthManifest:
+        """The *resolved* injection oracle: windows as actually armed.
+
+        Each entry carries the real arm instant, the target names drawn
+        from the live infrastructure, and (once the window closed) the
+        actual disarm instant. Windows still armed when the run stops keep
+        their planned end.
+        """
+        return GroundTruthManifest(self._injected)
 
     def timeline(self) -> list[str]:
         """Human-readable arm/disarm log, for the CLI demo."""

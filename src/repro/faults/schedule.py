@@ -43,6 +43,8 @@ import dataclasses
 import random
 import typing
 
+from repro.faults.manifest import GroundTruthManifest, window_from_spec
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultTargets
 
@@ -482,6 +484,16 @@ class FaultSchedule:
             entry["kind"] = spec.kind
             out.append(entry)
         return out
+
+    def ground_truth(self) -> GroundTruthManifest:
+        """The *planned* injection oracle: one window per spec.
+
+        Targets are the requested names; random picks stay unresolved
+        (empty tuples) — use
+        :meth:`~repro.faults.injector.FaultInjector.ground_truth` for the
+        names actually drawn at arm time.
+        """
+        return GroundTruthManifest(window_from_spec(spec) for spec in self._specs)
 
 
 def standard_fault_schedule(duration_s: float, scale: float = 1.0) -> FaultSchedule:

@@ -74,7 +74,16 @@ class CopyEngine:
         it again on failure, so failed clones don't leak capacity.
         """
         # Keyed by destination: a datastore outage fails copies *into* it.
-        self.faults.fire(key=destination.entity_id)
+        # Per-destination attempt/failure counters let triage tell an
+        # outage (one datastore fails everything) from flakiness (partial
+        # failures across datastores).
+        self.metrics.counter(f"attempts.{destination.name}").add()
+        try:
+            self.faults.fire(key=destination.entity_id)
+        except Exception:
+            self.metrics.counter("failures").add()
+            self.metrics.counter(f"failures.{destination.name}").add()
+            raise
         start = self.sim.now
         transfer_span = span.child(
             "copy.transfer",
@@ -86,6 +95,8 @@ class CopyEngine:
             yield self.link_for(destination).transfer(size_gb * GB)
         except BaseException as exc:
             destination.reclaim(size_gb)
+            self.metrics.counter("failures").add()
+            self.metrics.counter(f"failures.{destination.name}").add()
             transfer_span.finish(error=type(exc).__name__)
             raise
         transfer_span.finish()

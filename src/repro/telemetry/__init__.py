@@ -41,6 +41,7 @@ from repro.telemetry.slo import (
     DEFAULT_BURN_WINDOWS,
     Alert,
     AlertEvent,
+    AvailabilityRule,
     BurnWindow,
     LatencyRule,
     RatioRule,
@@ -51,6 +52,7 @@ from repro.telemetry.slo import (
 __all__ = [
     "Alert",
     "AlertEvent",
+    "AvailabilityRule",
     "BurnWindow",
     "DEFAULT_BURN_WINDOWS",
     "DEFAULT_RETENTION",

@@ -50,8 +50,15 @@ def _fmt_row(label: str, body: str) -> str:
     return f"  {label:<46} {body}"
 
 
-def render_dashboard(telemetry: "Telemetry", title: str = "repro top") -> str:
-    """Render the current telemetry state as a text dashboard."""
+def render_dashboard(
+    telemetry: "Telemetry", title: str = "repro top", triage=None
+) -> str:
+    """Render the current telemetry state as a text dashboard.
+
+    Pass the rig's :class:`~repro.triage.engine.TriageEngine` as
+    ``triage`` to append the incident drill-down: one block per verdict
+    with its ranked hypotheses and evidence chains.
+    """
     lines = [f"== {title} @ t={telemetry.sim.now:.1f}s "
              f"(scrapes={telemetry.scraper.scrapes}, "
              f"series={len(telemetry.rollups)}) =="]
@@ -138,4 +145,15 @@ def render_dashboard(telemetry: "Telemetry", title: str = "repro top") -> str:
         lines.extend("  " + line for line in telemetry.monitor.render_timeline())
     else:
         lines.append("  (none fired)")
+
+    # Incident triage drill-down: ranked root-cause verdicts per alert
+    # burst, with the evidence each hypothesis rests on.
+    if triage is not None and not getattr(triage, "is_null", False):
+        verdicts = list(triage.verdicts)
+        section(f"-- triage ({len(verdicts)} verdicts) --")
+        if verdicts:
+            for verdict in verdicts:
+                lines.extend("  " + line for line in verdict.render(evidence=True))
+        else:
+            lines.append("  (no alerts fired, no verdicts)")
     return "\n".join(lines) + "\n"

@@ -98,8 +98,16 @@ class Scraper:
                 elif isinstance(metric, Gauge):
                     self._sample_gauge(metric_id, metric.value, now)
                 elif isinstance(metric, LatencyRecorder):
+                    # Count + total seconds as counters: a trailing
+                    # window's seconds-sum over count-sum is the mean
+                    # latency in that window (triage leans on this to
+                    # compare recent vs baseline service times).
                     count_id = format_metric_id(f"{key}:count", labels)
                     self._sample_counter(count_id, float(metric.count), now)
+                    seconds_id = format_metric_id(f"{key}:seconds", labels)
+                    self._sample_counter(
+                        seconds_id, float(metric.mean * metric.count), now
+                    )
                 elif isinstance(metric, LogHistogram):
                     self._sample_histogram(metric_id, metric, now)
                 # Fixed-bin Histogram / TimeSeries keep their own shape;

@@ -128,6 +128,36 @@ class LatencyRule(SloRule):
         return float(window.hist.count_at_or_above(self.threshold_s)), float(window.count)
 
 
+@dataclasses.dataclass(frozen=True)
+class AvailabilityRule(SloRule):
+    """Bad = 0-samples across every 0/1 gauge series under a prefix.
+
+    For an up/down probe scraped as a gauge the window ``sum`` is the
+    number of "up" samples and ``count`` the total, so ``count - sum`` is
+    downtime measured in scrape samples — no per-sample storage needed.
+    One rule over ``host_up`` turns sixteen per-host probes into a single
+    fleet-availability burn: two hosts down out of sixteen is a 12.5%
+    bad fraction, far over any sane budget, without any user-visible
+    task failing. This is how infra-only faults (a flap the placement
+    engine routes around) still reach the alert timeline.
+    """
+
+    metric_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.metric_prefix:
+            raise ValueError("availability rule needs a metric prefix")
+
+    def bad_total(self, telemetry, horizon_s, now):
+        bad = total = 0.0
+        for series in telemetry.series_matching(self.metric_prefix).values():
+            window = series.trailing(horizon_s, now)
+            bad += window.count - window.sum
+            total += window.count
+        return bad, total
+
+
 @dataclasses.dataclass
 class AlertEvent:
     """One transition on the alert timeline."""
@@ -164,6 +194,10 @@ class SloMonitor:
         self.timeline: list[AlertEvent] = []
         self.alerts: list[Alert] = []
         self._active: dict[str, Alert] = {}
+        # Fire hooks: called as listener(alert, now) on each new firing.
+        # Listeners must be read-only w.r.t. the simulation (the triage
+        # engine attaches here) so scrapes stay schedule-neutral.
+        self.listeners: list[typing.Callable[[Alert, float], None]] = []
 
     def add(self, rule: SloRule) -> None:
         if any(existing.name == rule.name for existing in self.rules):
@@ -193,6 +227,8 @@ class SloMonitor:
                     self.timeline.append(
                         AlertEvent(now, rule.name, "fire", burn_short, burn_long, firing_pair)
                     )
+                    for listener in self.listeners:
+                        listener(alert, now)
                     active = alert
                 active.peak_burn = max(active.peak_burn, burn_short)
             elif active is not None:

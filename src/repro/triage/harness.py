@@ -1,0 +1,448 @@
+"""Randomized triage chaos runs: inject a fault, score the verdicts.
+
+The R-X6 rig is the R-F-alerts deploy storm grown three ways: the bus is
+mediated (so message faults have a transport to hit), the journal is on
+(so server crashes recover), and a quarter of deploys are *full* clones
+(so copy faults have bytes to break — linked clones never touch the copy
+engine). On top of the four R-F-alerts burn-rate rules it adds three
+tripwires that make every detectable fault kind alertable: a
+vm-retry-rate rule (catches submission refusals, which complete no tasks
+and would otherwise starve the ratio rules), a bus drop-rate rule, and a
+bus queue-wait latency rule.
+
+``run_triage_point`` runs one seeded storm with one strong fault window
+of a chosen kind (or none), triage attached, and returns the verdicts
+plus the resolved ground truth. ``triage_sweep`` cycles kinds across
+seeds and pools the scores — the R-X6 exhibit and the CI smoke job
+(``python -m repro.triage.harness --seeds 10``) both sit on it.
+
+``message_duplicate`` and ``message_reorder`` are deliberately outside
+the sweep: the bus absorbs both by design (idempotency-key dedup,
+commutative consumers), so they move no SLO and fire no alert — there is
+nothing to triage. The rule catalogue still names them when asked
+directly (``TriageEngine.triage_now``), which the unit tests cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.controlplane.costs import ControlPlaneConfig, DEFAULT_COSTS
+from repro.core.experiments import StormRig
+from repro.datacenter.templates import MEDIUM_LINUX
+from repro.faults import (
+    AgentDegrade,
+    CopyFlakiness,
+    DatastoreOutage,
+    DbSlowdown,
+    FaultInjector,
+    FaultSchedule,
+    FaultTargets,
+    GroundTruthManifest,
+    HostFlap,
+    MessageDelay,
+    MessageDrop,
+    ServerCrash,
+    ShardCrash,
+    TopicPartition,
+)
+from repro.triage.engine import TriageEngine, Verdict
+from repro.triage.scoring import ScoreReport, TriageScorer
+
+#: Fault kinds the sweep injects — every kind with an alertable SLO
+#: signature. Ordered; seed i injects KINDS[i % len].
+SWEEP_KINDS: tuple[str, ...] = (
+    "host_flap",
+    "agent_degrade",
+    "db_slowdown",
+    "datastore_outage",
+    "copy_flakiness",
+    "server_crash",
+    "shard_crash",
+    "message_drop",
+    "message_delay",
+    "topic_partition",
+)
+
+#: The quick subset (CI smoke): the kinds with the sharpest signatures.
+QUICK_KINDS: tuple[str, ...] = (
+    "host_flap",
+    "agent_degrade",
+    "db_slowdown",
+    "datastore_outage",
+    "server_crash",
+    "message_drop",
+)
+
+
+def kind_schedule(
+    kind: str | None, rng: random.Random, duration_s: float
+) -> FaultSchedule:
+    """One strong mid-run window of ``kind`` (None -> no faults).
+
+    Start and width are drawn from ``rng`` so every seed exercises a
+    different alignment against the workload; intensities come from the
+    strong end of each kind's range so the question the sweep answers is
+    "does triage *name* it", not "is it detectable at all".
+    """
+    schedule = FaultSchedule()
+    if kind is None:
+        return schedule
+    start = rng.uniform(0.3, 0.45) * duration_s
+    width = rng.uniform(0.25, 0.35) * duration_s
+    # Crash/partition windows stay short so recovery/heal (the
+    # interesting part) happens inside the run.
+    short = rng.uniform(0.1, 0.18) * duration_s
+    if kind == "host_flap":
+        schedule.add(HostFlap(start, width, count=2))
+    elif kind == "agent_degrade":
+        schedule.add(
+            AgentDegrade(
+                start,
+                width,
+                count=3,
+                latency_factor=rng.uniform(10.0, 18.0),
+                drop_rate=rng.uniform(0.5, 0.7),
+            )
+        )
+    elif kind == "db_slowdown":
+        # The storm runs the database at a few percent utilization, so
+        # only a drastic slowdown pushes it into visible queueing.
+        schedule.add(DbSlowdown(start, width, factor=rng.uniform(40.0, 60.0)))
+    elif kind == "datastore_outage":
+        schedule.add(DatastoreOutage(start, width, count=1))
+    elif kind == "copy_flakiness":
+        schedule.add(CopyFlakiness(start, width, fail_rate=rng.uniform(0.5, 0.75)))
+    elif kind == "server_crash":
+        schedule.add(ServerCrash(start, short, count=1))
+    elif kind == "shard_crash":
+        schedule.add(ShardCrash(start, width, count=1))
+    elif kind == "message_drop":
+        schedule.add(MessageDrop(start, width, rate=rng.uniform(0.3, 0.5)))
+    elif kind == "message_delay":
+        # The stall sits on the publish side, invisible to queue-wait —
+        # it has to be big enough to drag end-to-end deploy latency.
+        schedule.add(MessageDelay(start, width, delay_s=rng.uniform(6.0, 10.0)))
+    elif kind == "topic_partition":
+        schedule.add(TopicPartition(start, short))
+    else:
+        raise ValueError(f"no sweep schedule for fault kind {kind!r}")
+    return schedule
+
+
+@dataclasses.dataclass
+class TriagePoint:
+    """One seeded chaos run's outcome."""
+
+    seed: int
+    kind: str | None
+    verdicts: list[Verdict]
+    manifest: GroundTruthManifest
+    report: ScoreReport
+    alerts: int
+    scrapes: int
+    completed: int
+
+    @property
+    def ok(self) -> bool:
+        """Did the run behave? (No-fault runs must not name a culprit.)"""
+        if self.kind is None:
+            return all(not v.confident for v in self.verdicts)
+        return True
+
+
+def run_triage_point(
+    seed: int,
+    kind: str | None,
+    duration_s: float = 600.0,
+    arrival_rate: float = 1.2,
+    full_clone_every: int = 8,
+    triage: bool = True,
+    traced: bool = False,
+    grace_s: float = 240.0,
+) -> TriagePoint:
+    """One storm + one fault window + triage, scored against ground truth."""
+    from repro.cloud.api import AdmissionShed, ApiGateway
+    from repro.cloud.catalog import Catalog, CatalogItem
+    from repro.cloud.director import CloudDirector, DeployRequest
+    from repro.cloud.tenancy import Organization, User
+    from repro.controlplane.resilience import (
+        BreakerPolicy,
+        RetryPolicy,
+        TaskDeadlineExceeded,
+    )
+    from repro.faults.errors import InjectedFault, ShardUnavailable, TransientError
+    from repro.operations.base import OperationError
+    from repro.sim.events import AllOf
+    from repro.telemetry.slo import (
+        AvailabilityRule,
+        BurnWindow,
+        LatencyRule,
+        RatioRule,
+    )
+
+    costs = dataclasses.replace(DEFAULT_COSTS, host_call_timeout_s=20.0)
+    replace_policy = RetryPolicy(
+        max_attempts=6,
+        base_backoff_s=2.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=30.0,
+        jitter=0.5,
+        retry_on=(TransientError, OperationError, TaskDeadlineExceeded),
+    )
+    in_place_policy = RetryPolicy(
+        max_attempts=3,
+        base_backoff_s=1.0,
+        backoff_multiplier=2.0,
+        max_backoff_s=15.0,
+        jitter=0.5,
+        retry_on=(InjectedFault, ShardUnavailable),
+    )
+    config = ControlPlaneConfig(
+        retry_policy=in_place_policy,
+        retry_budget_ratio=0.2,
+        task_deadline_s=240.0,
+        breaker=BreakerPolicy(failure_threshold=3, cooldown_s=45.0, half_open_probes=1),
+    )
+    rig = StormRig(
+        seed=seed,
+        hosts=16,
+        datastores=4,
+        host_memory_gb=512.0,
+        costs=costs,
+        config=config,
+        traced=traced,
+        telemetry=True,
+        scrape_interval_s=5.0,
+        journal=True,
+        bus=True,
+        direct_calls=False,
+    )
+    server = rig.server
+    telemetry = rig.telemetry
+    # Modern-array copy bandwidth: full clones move 40 GB in ~10 s. Every
+    # full clone reads from the template's datastore, so its links are the
+    # copy bottleneck — keep their utilization well under one or the
+    # deploy-latency rule burns with no fault injected.
+    server.copy_engine.default_capacity_bps = 4 * 1024**3
+
+    catalog = Catalog("cloud-a")
+    linked_item = catalog.add(CatalogItem(name="web", template_name=MEDIUM_LINUX.name))
+    full_item = catalog.add(
+        CatalogItem(name="db", template_name=MEDIUM_LINUX.name, linked=False)
+    )
+    org = Organization("acme", quota_vms=100_000, quota_storage_gb=1e9)
+    director = CloudDirector(
+        server, rig.cluster, rig.library, catalog, retry_policy=replace_policy
+    )
+    gateway = ApiGateway(
+        rig.sim, requests_per_minute=600.0, burst=50.0, telemetry=telemetry
+    )
+    gateway.enable_shedding(lambda: server.tasks.queue_depth, 128.0)
+    session = gateway.login(User("tenant", org))
+
+    windows = (
+        BurnWindow(short_s=60.0, long_s=180.0, threshold=2.0),
+        BurnWindow(short_s=180.0, long_s=600.0, threshold=1.0),
+    )
+    success = 'tasks_completed_total{outcome="success"}'
+    error = 'tasks_completed_total{outcome="error"}'
+    telemetry.add_rule(
+        LatencyRule(
+            name="deploy-latency-p99",
+            objective=0.95,
+            metric="director_deploy_latency_s",
+            threshold_s=60.0,
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="task-goodput",
+            objective=0.98,
+            bad_metric=error,
+            total_metrics=(success, error),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="dead-letter-rate",
+            objective=0.995,
+            bad_metric="tasks_dead_letter_total",
+            total_metrics=(success, error),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="admission-shed-rate",
+            objective=0.98,
+            bad_metric="gateway_shed_total",
+            total_metrics=("gateway_admitted_total", "gateway_shed_total"),
+            windows=windows,
+        )
+    )
+    # A flap the placement engine routes around never fails a task —
+    # fleet availability is the only signal that burns.
+    telemetry.add_rule(
+        AvailabilityRule(
+            name="host-availability",
+            objective=0.99,
+            metric_prefix="host_up",
+            windows=windows,
+        )
+    )
+    # A shard/server crash refuses submissions: nothing completes, so the
+    # completion-ratio rules starve. Retries-vs-deploys keeps burning.
+    telemetry.add_rule(
+        RatioRule(
+            name="vm-retry-rate",
+            objective=0.9,
+            bad_metric="director_vm_retries_total",
+            total_metrics=("director_vm_retries_total", "director_deploys_total"),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        RatioRule(
+            name="bus-drop-rate",
+            objective=0.98,
+            bad_metric='bus_dropped_total{bus="bus"}',
+            total_metrics=(
+                'bus_delivered_total{bus="bus"}',
+                'bus_dropped_total{bus="bus"}',
+            ),
+            windows=windows,
+        )
+    )
+    telemetry.add_rule(
+        LatencyRule(
+            name="bus-queue-wait",
+            objective=0.95,
+            metric='bus_queue_wait_s{bus="bus"}',
+            threshold_s=2.0,
+            windows=windows,
+        )
+    )
+
+    engine = TriageEngine(telemetry, tracer=rig.tracer)
+    if triage:
+        engine.attach()
+
+    schedule = kind_schedule(kind, rig.streams.stream("triage-schedule"), duration_s)
+    injector = FaultInjector(
+        rig.sim,
+        FaultTargets.for_server(server),
+        schedule,
+        rng=rig.streams.stream("fault-injector"),
+    ).start()
+    telemetry.start()
+
+    requests: list = []
+
+    def one_request(index: int) -> typing.Generator:
+        try:
+            yield from gateway.admit(session)
+        except AdmissionShed:
+            return
+        item = full_item if index % full_clone_every == 0 else linked_item
+        yield from director.deploy(
+            DeployRequest(org=org, item=item, vm_count=1, vapp_name=f"req{index}")
+        )
+
+    def arrivals() -> typing.Generator:
+        rng = rig.streams.stream("arrivals")
+        index = 0
+        while rig.sim.now < duration_s:
+            yield rig.sim.timeout(rng.expovariate(arrival_rate))
+            if rig.sim.now >= duration_s:
+                break
+            requests.append(rig.sim.spawn(one_request(index), name=f"req-{index}"))
+            index += 1
+
+    source = rig.sim.spawn(arrivals(), name="arrivals")
+    rig.sim.run(until=source)
+    if requests:
+        rig.sim.run(until=AllOf(rig.sim, requests))
+    rig.sim.run(until=rig.sim.spawn(injector.drain(), name="fault-drain"))
+    telemetry.stop()
+    server.tasks.assert_accounted()
+
+    manifest = injector.ground_truth()
+    report = TriageScorer(grace_s=grace_s).score(engine.verdicts, manifest)
+    return TriagePoint(
+        seed=seed,
+        kind=kind,
+        verdicts=list(engine.verdicts),
+        manifest=manifest,
+        report=report,
+        alerts=len([e for e in telemetry.monitor.timeline if e.kind == "fire"]),
+        scrapes=telemetry.scraper.scrapes,
+        completed=len(server.tasks.succeeded()),
+    )
+
+
+def triage_sweep(
+    seeds: typing.Iterable[int],
+    kinds: typing.Sequence[str] = SWEEP_KINDS,
+    duration_s: float = 600.0,
+    grace_s: float = 240.0,
+) -> tuple[ScoreReport, list[TriagePoint]]:
+    """Cycle ``kinds`` across ``seeds``; pool the per-run scores."""
+    points = []
+    for index, seed in enumerate(seeds):
+        kind = kinds[index % len(kinds)]
+        points.append(
+            run_triage_point(seed, kind, duration_s=duration_s, grace_s=grace_s)
+        )
+    merged = TriageScorer.merge(point.report for point in points)
+    return merged, points
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """CI smoke: ``python -m repro.triage.harness --seeds 10`` with gates."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.triage.harness",
+        description="Sweep single-fault chaos runs; score triage verdicts.",
+    )
+    parser.add_argument("--seeds", type=int, default=10, help="number of runs")
+    parser.add_argument("--duration", type=float, default=600.0)
+    parser.add_argument(
+        "--quick", action="store_true", help="sweep only the sharpest fault kinds"
+    )
+    parser.add_argument("--min-top1", type=float, default=0.8)
+    parser.add_argument("--min-recall", type=float, default=0.7)
+    args = parser.parse_args(argv)
+
+    kinds = QUICK_KINDS if args.quick else SWEEP_KINDS
+    report, points = triage_sweep(
+        range(args.seeds), kinds=kinds, duration_s=args.duration
+    )
+    for point in points:
+        named = [v.named_kind for v in point.verdicts]
+        print(
+            f"seed {point.seed:>3}  injected={point.kind:<18} "
+            f"alerts={point.alerts:>2}  verdicts={named}"
+        )
+    print()
+    for line in report.render():
+        print(line)
+    ok = (
+        report.top1_accuracy >= args.min_top1 and report.recall >= args.min_recall
+    )
+    print()
+    print(
+        f"gates: top-1 {report.top1_accuracy:.2f} >= {args.min_top1:g} and "
+        f"recall {report.recall:.2f} >= {args.min_recall:g}: "
+        f"{'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
