@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Prove the queue backend changes nothing: heap vs calendar exhibit diff.
+
+Runs a queue-sensitive slice of the exhibit registry twice at the same
+seed — once with ``REPRO_SIM_QUEUE=heap``, once with ``calendar`` — and
+fails if any rendered exhibit differs by a single byte. This is the CI leg
+backing the determinism contract in docs/performance.md: pop order
+implements the exact ``(time, priority, sequence)`` total order on both
+backends, so the calendar queue must be unobservable in every result no
+matter how its buckets resize.
+
+The slice covers the queue's hard cases: closed-loop storms (R-T2),
+open-loop arrivals (R-F1), queue-depth tracking under cancel churn (R-F7),
+sharded sweeps (R-F9), fault schedules full of timeouts and cancels
+(R-X3), and the million-timer standing set (R-F-hyperscale).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_queue_equality.py
+    PYTHONPATH=src python benchmarks/check_queue_equality.py --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import sys
+
+EXPERIMENT_IDS = ("R-T2", "R-F1", "R-F7", "R-F9", "R-X3", "R-F-hyperscale")
+
+
+def _render(exp_id: str, seed: int, quick: bool, backend: str) -> str:
+    from repro.core.experiments import run_experiment
+
+    os.environ["REPRO_SIM_QUEUE"] = backend
+    try:
+        return run_experiment(exp_id, seed=seed, quick=quick).render()
+    finally:
+        os.environ.pop("REPRO_SIM_QUEUE", None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full", action="store_true", help="full exhibit sizes (default: quick)"
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    for exp_id in EXPERIMENT_IDS:
+        heap = _render(exp_id, args.seed, not args.full, "heap")
+        calendar = _render(exp_id, args.seed, not args.full, "calendar")
+        if heap == calendar:
+            print(f"{exp_id:<16} OK   heap == calendar")
+        else:
+            failures.append(exp_id)
+            print(f"{exp_id:<16} FAIL exhibits differ:")
+            diff = difflib.unified_diff(
+                heap.splitlines(), calendar.splitlines(),
+                fromfile=f"{exp_id} heap", tofile=f"{exp_id} calendar",
+                lineterm="",
+            )
+            for line in diff:
+                print(f"    {line}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} experiment(s) differ between queue "
+            f"backends: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: {len(EXPERIMENT_IDS)} experiments byte-identical on both backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

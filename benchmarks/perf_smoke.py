@@ -8,6 +8,13 @@ if any bench regresses by more than the tolerance (default 30%, override
 with ``REPRO_PERF_TOLERANCE`` or ``--tolerance``) — the CI tripwire that
 keeps kernel hot-path regressions from landing silently.
 
+Each bench also records its peak traced allocation (``tracemalloc``, in a
+separate pass so the tracer's ~2x slowdown never touches the timings) and
+the same tolerance gates memory: a bench whose peak heap grows >30% over
+the committed baseline fails the run. That is the memory budget the
+hyperscale exhibit depends on — a million pending timers only fit because
+nothing on the hot path quietly started allocating per event.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py             # check
@@ -22,10 +29,13 @@ import os
 import pathlib
 import sys
 import time
+import tracemalloc
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 from bench_kernel_micro import (  # noqa: E402
+    run_batch_sampling,
+    run_calendar_churn,
     run_cancel_storm,
     run_fair_share_churn,
     run_resource_contention,
@@ -46,6 +56,18 @@ BENCHES = {
     "fair_share_churn": (run_fair_share_churn, (500,), 500, "transfers"),
     "spawn_churn": (run_spawn_churn, (400, 12), 4_800, "processes"),
     "cancel_storm": (run_cancel_storm, (20_000,), 20_000, "cancel/rearm cycles"),
+    "calendar_churn": (
+        run_calendar_churn,
+        (300_000, 1_200_000, "calendar"),
+        1_200_000,
+        "fire/re-arm cycles over 300k standing timers",
+    ),
+    "batch_sampling": (
+        run_batch_sampling,
+        (200_000, True),
+        200_000,
+        "arrival-gap + lifetime draw pairs",
+    ),
     "storm_telemetry_off": (run_storm_telemetry_off, (48, 12), 48, "linked clones"),
     "storm_journal_on": (run_storm_journal_on, (48, 12), 48, "linked clones"),
     "storm_bus_on": (run_storm_bus_on, (48, 12), 48, "linked clones"),
@@ -54,7 +76,7 @@ BENCHES = {
 
 
 def measure(rounds: int = 5) -> dict[str, dict[str, float]]:
-    """Best-of-N wall time and derived rate for every microbench."""
+    """Best-of-N wall time, derived rate, and peak heap for every microbench."""
     results = {}
     for name, (fn, args, units, _unit) in BENCHES.items():
         best = float("inf")
@@ -65,6 +87,16 @@ def measure(rounds: int = 5) -> dict[str, dict[str, float]]:
             if elapsed < best:
                 best = elapsed
         results[name] = {"seconds": round(best, 6), "rate": round(units / best, 1)}
+    # Memory pass, after all timings: tracemalloc roughly halves throughput,
+    # so the tracer must never be live while the clock is running.
+    for name, (fn, args, _units, _unit) in BENCHES.items():
+        tracemalloc.start()
+        try:
+            fn(*args)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        results[name]["peak_mb"] = round(peak / 2**20, 2)
     return results
 
 
@@ -97,7 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = []
-    print(f"{'bench':<20} {'baseline/s':>14} {'measured/s':>14} {'delta':>8}")
+    print(
+        f"{'bench':<20} {'baseline/s':>14} {'measured/s':>14} {'delta':>8} "
+        f"{'base MB':>9} {'meas MB':>9} {'delta':>8}"
+    )
     for name, sample in measured.items():
         entry = baseline["benches"].get(name)
         if entry is None or "after" not in entry:
@@ -107,9 +142,17 @@ def main(argv: list[str] | None = None) -> int:
         delta = sample["rate"] / reference - 1.0
         flag = ""
         if delta < -args.tolerance:
-            failures.append((name, reference, sample["rate"], delta))
+            failures.append(name)
             flag = "  REGRESSION"
-        print(f"{name:<20} {reference:>14,.0f} {sample['rate']:>14,.0f} {delta:>7.0%}{flag}")
+        line = f"{name:<20} {reference:>14,.0f} {sample['rate']:>14,.0f} {delta:>7.0%}"
+        reference_mb = entry["after"].get("peak_mb")
+        if reference_mb:
+            memory_delta = sample["peak_mb"] / reference_mb - 1.0
+            if memory_delta > args.tolerance:
+                failures.append(name)
+                flag = "  MEMORY REGRESSION"
+            line += f" {reference_mb:>9,.2f} {sample['peak_mb']:>9,.2f} {memory_delta:>7.0%}"
+        print(line + flag)
     if failures:
         print(
             f"\nFAIL: {len(failures)} bench(es) regressed more than "
@@ -117,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\nok: all benches within {args.tolerance:.0%} of baseline")
+    print(f"\nok: all benches within {args.tolerance:.0%} of baseline (rate and peak memory)")
     return 0
 
 

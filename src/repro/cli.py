@@ -21,6 +21,8 @@ Commands:
 - ``triage`` — a single-fault chaos run with the incident-triage engine
   attached: every SLO alert burst becomes a ranked root-cause verdict
   with its evidence chain, graded against the injected ground truth.
+- ``hyperscale`` — the R-F-hyperscale fleet cells (up to 1M VMs on raw
+  kernel timers) with live events/s and peak-RSS columns.
 - ``list`` — enumerate profiles and experiments.
 """
 
@@ -183,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
                             help="arrival window in sim seconds")
     triage_cmd.add_argument("--no-evidence", action="store_true",
                             help="omit per-hypothesis evidence chains")
+
+    hyperscale_cmd = sub.add_parser(
+        "hyperscale",
+        help="fleet cells to 1M VMs on the hyperscale kernel, with live "
+        "throughput and RSS columns",
+    )
+    hyperscale_cmd.add_argument("--seed", type=int, default=0)
+    hyperscale_cmd.add_argument(
+        "--quick", action="store_true", help="small fleets (CI smoke sizes)"
+    )
+    hyperscale_cmd.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan shard cells across N worker processes (0 = one per CPU)",
+    )
+    hyperscale_cmd.add_argument(
+        "--queue", choices=("calendar", "heap"), default="calendar",
+        help="kernel queue backend for the cells (default calendar)",
+    )
+    hyperscale_cmd.add_argument(
+        "--fleet", type=int, action="append", metavar="VMS",
+        help="fleet size; repeatable (default: 100k and 1M, or 2k/10k with --quick)",
+    )
+    hyperscale_cmd.add_argument(
+        "--shards", type=int, action="append", metavar="N",
+        help="shard count; repeatable (default: 1,4,8 or 1,2 with --quick)",
+    )
 
     sub.add_parser("list", help="list profiles and experiments")
     return parser
@@ -773,6 +801,41 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hyperscale(args: argparse.Namespace) -> int:
+    from repro.core.experiments import hyperscale_sweep
+
+    points = hyperscale_sweep(
+        seed=args.seed,
+        quick=args.quick,
+        parallel=args.parallel,
+        queue=args.queue,
+        fleets=args.fleet,
+        shard_counts=args.shards,
+    )
+    print(f"hyperscale fleet cells ({args.queue} queue backend):")
+    print(
+        f"{'VMs':>9} {'shards':>6} {'deploys':>9} {'expiries':>9} "
+        f"{'peak pending':>12} {'drain days':>10} {'events/s':>10} "
+        f"{'wall s':>7} {'RSS MB':>7}"
+    )
+    for point in points:
+        print(
+            f"{point['vms']:>9,} {point['shards']:>6} {point['deploys']:>9,} "
+            f"{point['expiries']:>9,} {point['peak_pending']:>12,} "
+            f"{point['makespan_s'] / 86_400.0:>10.1f} "
+            f"{point['events_per_s']:>10,.0f} {point['wall_s']:>7.1f} "
+            f"{point['rss_mb']:>7,.0f}"
+        )
+    biggest = max(points, key=lambda point: point["vms"])
+    print(
+        f"\nlargest cell: {biggest['vms']:,} VMs held "
+        f"{biggest['peak_pending']:,} pending timers at peak "
+        f"({biggest['events_per_s']:,.0f} events/s, "
+        f"{biggest['rss_mb']:,.0f} MB peak RSS)"
+    )
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("profiles:")
     for profile in ALL_PROFILES:
@@ -795,6 +858,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "metrics": cmd_metrics,
     "bus": cmd_bus,
     "triage": cmd_triage,
+    "hyperscale": cmd_hyperscale,
     "list": cmd_list,
 }
 

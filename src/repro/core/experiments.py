@@ -86,8 +86,9 @@ class StormRig:
         bus: bool = False,
         direct_calls: bool = True,
         triage: bool = False,
+        queue: str | None = None,
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(queue=queue)
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(self.sim) if traced else NULL_TRACER
         self.telemetry = (
@@ -1856,6 +1857,171 @@ def experiment_x6_triage(seed: int = 0, quick: bool = False) -> ExperimentResult
     )
 
 
+# --------------------------------------------------------------------------
+# R-F-hyperscale — million-VM fleet cells on the hyperscale kernel.
+# --------------------------------------------------------------------------
+
+
+def _hyperscale_cell(
+    cell: tuple[int, int, int, str | None],
+) -> dict[str, typing.Any]:
+    """One hyperscale shard cell: a VM fleet lifecycle on raw kernel timers.
+
+    This deliberately bypasses the management-server task pipeline — the
+    question the exhibit answers is whether the *substrate* (queue backend,
+    timeout pool, batched sampling) carries a paper-scale fleet, so each VM
+    is exactly two pooled timeouts: an arrival that places it on a host and
+    arms its lifetime, and the lifetime expiry that frees the slot. The
+    VM's host index rides in the timeout's ``_value`` slot, so the cell
+    allocates nothing per VM beyond the recycled timeout itself.
+
+    Deterministic outputs (deploys, expiries, peak pending, makespan) are
+    pure functions of ``(seed, vms)``; ``wall_s``/``rss_mb`` are measured
+    perf and never enter a committed exhibit.
+    """
+    import resource
+    import time as _time
+
+    from repro.core.parallel import derive_seed
+    from repro.workloads.sampling import BatchedExponentials, BatchedLifetimes
+
+    seed, shard_index, vms, queue = cell
+    started = _time.perf_counter()
+    sim = Simulator(queue=queue)
+    streams = RandomStreams(derive_seed(seed, shard_index))
+    # One simulated hour of arrivals, CLOUD_A lifetimes (median 6h): nearly
+    # the whole fleet is still pending when arrivals stop, which is what
+    # builds the deep standing timer set the exhibit exists to demonstrate.
+    gaps = BatchedExponentials(streams.stream("arrivals"), vms / 3600.0)
+    lifetimes = BatchedLifetimes(CLOUD_A_LIFETIME, streams.stream("lifetimes"))
+    host_count = vms // 128 + 1  # capacity 256/host: 2x headroom, short scans
+    slots = [0] * host_count
+    cursor = 0
+    deploys = 0
+    expiries = 0
+    peak_pending = 0
+    timeout = sim.timeout
+
+    def expire(event) -> None:
+        nonlocal expiries
+        expiries += 1
+        slots[event._value] -= 1
+
+    def arrive(_event) -> None:
+        nonlocal cursor, deploys, peak_pending
+        deploys += 1
+        host = cursor
+        while slots[host] >= 256:
+            host = host + 1 if host + 1 < host_count else 0
+        slots[host] += 1
+        cursor = host + 1 if host + 1 < host_count else 0
+        lifetime = timeout(lifetimes.next())
+        lifetime._value = host
+        lifetime.callbacks.append(expire)
+        depth = sim.queue_depth
+        if depth > peak_pending:
+            peak_pending = depth
+        if deploys < vms:
+            timeout(gaps.next()).callbacks.append(arrive)
+
+    timeout(gaps.next()).callbacks.append(arrive)
+    sim.run()
+    return {
+        "shard": shard_index,
+        "deploys": deploys,
+        "expiries": expiries,
+        "peak_pending": peak_pending,
+        "makespan_s": sim.now,
+        "wall_s": _time.perf_counter() - started,
+        "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    }
+
+
+def hyperscale_sweep(
+    seed: int = 0,
+    quick: bool = False,
+    parallel: int | None = None,
+    queue: str | None = None,
+    fleets: typing.Sequence[int] | None = None,
+    shard_counts: typing.Sequence[int] | None = None,
+) -> list[dict[str, typing.Any]]:
+    """The R-F-hyperscale grid: fleet size x shard count, one dict per config.
+
+    Each config splits the fleet evenly over ``shards`` independent cells
+    (cell seeds derived per shard index, so a cell's schedule never depends
+    on worker count or which process ran it) and aggregates. Deterministic
+    fields feed the committed exhibit; ``events_per_s``/``rss_mb`` are for
+    the CLI and the perf bench only.
+    """
+    if fleets is None:
+        fleets = (2_000, 10_000) if quick else (100_000, 1_000_000)
+    if shard_counts is None:
+        shard_counts = (1, 2) if quick else (1, 4, 8)
+    points = []
+    for fleet in fleets:
+        for shards in shard_counts:
+            per_cell = fleet // shards
+            cells = [
+                (seed, shard_index, per_cell, queue)
+                for shard_index in range(shards)
+            ]
+            outcomes = run_cells(_hyperscale_cell, cells, parallel=parallel)
+            events = sum(o["deploys"] + o["expiries"] for o in outcomes)
+            wall = max(o["wall_s"] for o in outcomes)
+            points.append(
+                {
+                    "vms": per_cell * shards,
+                    "shards": shards,
+                    "deploys": sum(o["deploys"] for o in outcomes),
+                    "expiries": sum(o["expiries"] for o in outcomes),
+                    "peak_pending": max(o["peak_pending"] for o in outcomes),
+                    "makespan_s": max(o["makespan_s"] for o in outcomes),
+                    "events": events,
+                    "events_per_s": events / wall if wall else 0.0,
+                    "wall_s": wall,
+                    "rss_mb": max(o["rss_mb"] for o in outcomes),
+                }
+            )
+    return points
+
+
+def experiment_f_hyperscale(
+    seed: int = 0, quick: bool = False, parallel: int | None = None
+) -> ExperimentResult:
+    """R-F-hyperscale: fleet cells to 1M VMs on the hyperscale kernel."""
+    points = hyperscale_sweep(seed=seed, quick=quick, parallel=parallel)
+    rows = []
+    series = []
+    for point in points:
+        rows.append(
+            [
+                point["vms"],
+                point["shards"],
+                point["deploys"],
+                point["expiries"],
+                point["peak_pending"],
+                f"{point['makespan_s'] / 86_400.0:.1f}",
+            ]
+        )
+        if point["shards"] == 1:
+            series.append((point["vms"], point["peak_pending"]))
+    return ExperimentResult(
+        exp_id="R-F-hyperscale",
+        title="Hyperscale fleet cells (VM lifecycles on raw kernel timers)",
+        headers=[
+            "VMs", "shards", "deploys", "expiries", "peak pending", "drain days",
+        ],
+        rows=rows,
+        series={"peak pending timers (1 shard)": series},
+        notes=(
+            "Arrivals over one simulated hour, CLOUD_A lifetimes; nearly the "
+            "whole fleet stands in the pending queue at once. Wall-clock and "
+            "RSS are reported by `python -m repro hyperscale` and gated by "
+            "benchmarks/bench_hyperscale.py, never committed here."
+        ),
+    )
+
+
 EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-T1": experiment_t1_setups,
     "R-T2": experiment_t2_opmix,
@@ -1872,6 +2038,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-F10": experiment_f10_lifetimes,
     "R-F-phase": experiment_f_phase,
     "R-F-alerts": experiment_f_alerts,
+    "R-F-hyperscale": experiment_f_hyperscale,
     "R-X1": experiment_x1_restart_storm,
     "R-X2": experiment_x2_stats_tax,
     "R-X3": experiment_x3_fault_goodput,
@@ -1883,7 +2050,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
 
 #: Experiments whose independent sweep cells the parallel runner can fan out.
 PARALLEL_EXPERIMENTS = frozenset(
-    {"R-F3", "R-F5", "R-F6", "R-F9", "R-F-phase", "R-T3"}
+    {"R-F3", "R-F5", "R-F6", "R-F9", "R-F-phase", "R-F-hyperscale", "R-T3"}
 )
 
 

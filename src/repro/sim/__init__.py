@@ -20,6 +20,7 @@ The public surface:
 
 from repro.sim.events import AllOf, AnyOf, Event, EventCancelled, Timeout
 from repro.sim.kernel import Interrupt, Process, Simulator
+from repro.sim.queues import CalendarQueue
 from repro.sim.random import RandomStreams
 from repro.sim.resources import PriorityResource, Resource, Store
 from repro.sim.stats import (
@@ -35,6 +36,7 @@ from repro.sim.stats import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Counter",
     "Event",
     "EventCancelled",

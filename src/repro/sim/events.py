@@ -13,6 +13,7 @@ the class is slotted and names are lazy — ``name`` is only formatted when a
 
 from __future__ import annotations
 
+import sys
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -23,6 +24,16 @@ PENDING = "pending"
 TRIGGERED = "triggered"  # scheduled on the queue, value decided
 PROCESSED = "processed"  # callbacks have run
 CANCELLED = "cancelled"
+
+# Timeout pooling: a fired timeout is recycled only when the kernel loop
+# holds the sole remaining references. At the recycle check those are the
+# loop's local, this frame's ``self``, and getrefcount's own argument — so
+# exactly _POOL_REFS means "nobody else is holding this object". The trick
+# is CPython-specific; other interpreters simply never pool.
+_POOLABLE = sys.implementation.name == "cpython"
+_POOL_REFS = 3
+_POOL_LIMIT = 256
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class EventCancelled(Exception):
@@ -180,6 +191,32 @@ class Timeout(Event):
 
     def _default_name(self) -> str:
         return f"timeout({self.delay})"
+
+    def _run_callbacks(self) -> None:
+        # Inlined Event._run_callbacks plus the pool recycle check.
+        if self._state == CANCELLED:
+            return
+        self._state = PROCESSED
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
+        # Recycle: only exact Timeout instances the kernel alone still
+        # references may be reused. A timeout held by a process, condition,
+        # resource, or any user structure has extra references and is left
+        # alone forever — reuse can never invalidate a visible object.
+        if (
+            _POOLABLE
+            and type(self) is Timeout
+            and _getrefcount(self) == _POOL_REFS
+        ):
+            pool = self.sim._timeout_pool
+            if pool is not None and len(pool) < _POOL_LIMIT:
+                self._name = None
+                self._value = None
+                self._exception = None
+                pool.append(self)
 
 
 class Condition(Event):

@@ -22,9 +22,19 @@ from repro.workloads.mixes import (
 from repro.workloads.profiles import CLASSIC_DC, CLOUD_A, CLOUD_B, CloudProfile
 from repro.workloads.driver import WorkloadDriver
 from repro.workloads.replay import TraceReplayer, replay_against
+from repro.workloads.sampling import (
+    BatchedArrivals,
+    BatchedExponentials,
+    BatchedLifetimes,
+    BatchedUniforms,
+)
 
 __all__ = [
     "ArrivalProcess",
+    "BatchedArrivals",
+    "BatchedExponentials",
+    "BatchedLifetimes",
+    "BatchedUniforms",
     "CLASSIC_DC",
     "CLASSIC_DC_MIX",
     "CLOUD_A",

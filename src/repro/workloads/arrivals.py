@@ -11,11 +11,22 @@ from __future__ import annotations
 import math
 import random
 
+from repro.workloads import sampling
+
 
 class ArrivalProcess:
     """Base: generates the next arrival time after ``now``."""
 
     def next_arrival(self, now: float, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def batched(self, rng: random.Random, batch: int = 512) -> "sampling.BatchedArrivals":
+        """A batched adapter drawing prefetched variates from ``rng``.
+
+        The adapter's ``next_arrival(now)`` consumes the stream in exactly
+        the per-event draw order, so schedules are byte-identical; it owns
+        any lazily-advanced state, leaving this process untouched.
+        """
         raise NotImplementedError
 
     def mean_rate(self) -> float:
@@ -33,6 +44,9 @@ class Poisson(ArrivalProcess):
 
     def next_arrival(self, now: float, rng: random.Random) -> float:
         return now + rng.expovariate(self.rate)
+
+    def batched(self, rng: random.Random, batch: int = 512) -> "sampling.BatchedPoisson":
+        return sampling.BatchedPoisson(self, rng, batch)
 
     def mean_rate(self) -> float:
         return self.rate
@@ -74,6 +88,9 @@ class DiurnalPoisson(ArrivalProcess):
             time += rng.expovariate(ceiling)
             if rng.random() <= self.rate_at(time) / ceiling:
                 return time
+
+    def batched(self, rng: random.Random, batch: int = 512) -> "sampling.BatchedDiurnal":
+        return sampling.BatchedDiurnal(self, rng, batch)
 
     def mean_rate(self) -> float:
         return self.base_rate
@@ -121,6 +138,9 @@ class MMPPBurst(ArrivalProcess):
             # State flips before the candidate arrival: redraw from the
             # flip point under the new state's rate.
             time = self._state_until
+
+    def batched(self, rng: random.Random, batch: int = 512) -> "sampling.BatchedMMPP":
+        return sampling.BatchedMMPP(self, rng, batch)
 
     def mean_rate(self) -> float:
         calm_weight = self.mean_calm_s / (self.mean_calm_s + self.mean_burst_s)

@@ -1,0 +1,194 @@
+"""Batched variate sampling for the workload hot path.
+
+Per-event draws (``rng.expovariate``, ``LifetimeModel.sample``) are pure
+Python above the C core of :class:`random.Random`; each arrival pays method
+dispatch and attribute lookups. At hyperscale fleets those draws dominate
+setup time, so this module prefetches draws in chunks with the transforms
+inlined over locally-bound callables.
+
+Value identity is the contract: every batched sampler consumes the
+underlying stream in exactly the same order, through exactly the same
+arithmetic, as its per-event counterpart — ``expovariate(lambd)`` is
+``-log(1 - random()) / lambd``, the Pareto tail is
+``scale * random() ** (-1/shape)``, and so on — so schedules are
+byte-identical whether or not batching is enabled (proven by
+``tests/workloads/test_sampling.py``). That is also why numpy is *not*
+used here: its generators are not draw-compatible with ``random.Random``.
+
+Batches are consumed lazily from dedicated named streams ("arrivals",
+"lifetimes"), so prefetching never perturbs any other stream and
+shard/seed derivation via ``splitmix64`` stays stable.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from math import log as _log
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.arrivals import DiurnalPoisson, MMPPBurst, Poisson
+    from repro.workloads.lifetimes import LifetimeModel
+
+_BATCH = 512
+
+
+class BatchedUniforms:
+    """Prefetched ``rng.random()`` draws, served strictly in draw order.
+
+    ``next`` is the bound ``__next__`` of an infinite generator that yields
+    each prefetched chunk via ``yield from`` — the cheapest per-draw serve
+    path available in pure Python (a C generator resume, no index
+    bookkeeping per call).
+    """
+
+    __slots__ = ("next",)
+
+    def __init__(self, rng: random.Random, batch: int = _BATCH) -> None:
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+
+        def serve() -> typing.Iterator[float]:
+            r = rng.random
+            span = range(batch)
+            while True:
+                yield from [r() for _ in span]
+
+        self.next: typing.Callable[[], float] = serve().__next__
+
+
+class BatchedExponentials:
+    """Prefetched exponential variates, identical to ``rng.expovariate(lambd)``."""
+
+    __slots__ = ("next",)
+
+    def __init__(self, rng: random.Random, lambd: float, batch: int = _BATCH) -> None:
+        if lambd <= 0:
+            raise ValueError("lambd must be positive")
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+
+        def serve() -> typing.Iterator[float]:
+            r = rng.random
+            span = range(batch)
+            while True:
+                # Same arithmetic as random.Random.expovariate — a division
+                # by lambd, not a multiply by its reciprocal, so values
+                # match to the last bit.
+                yield from [-_log(1.0 - r()) / lambd for _ in span]
+
+        self.next: typing.Callable[[], float] = serve().__next__
+
+
+class BatchedLifetimes:
+    """Prefetched :meth:`LifetimeModel.sample` draws in model draw order."""
+
+    __slots__ = ("next",)
+
+    def __init__(self, model: "LifetimeModel", rng: random.Random, batch: int = _BATCH) -> None:
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+
+        def serve() -> typing.Iterator[float]:
+            sample_batch = model.sample_batch
+            while True:
+                yield from sample_batch(rng, batch)
+
+        self.next: typing.Callable[[], float] = serve().__next__
+
+
+class BatchedArrivals:
+    """Base for batched arrival adapters: ``next_arrival(now)`` without an rng.
+
+    Created by :meth:`repro.workloads.arrivals.ArrivalProcess.batched`; owns
+    any lazily-advanced process state so the wrapped process object stays
+    untouched.
+    """
+
+    __slots__ = ()
+
+    def next_arrival(self, now: float) -> float:
+        raise NotImplementedError
+
+
+class BatchedPoisson(BatchedArrivals):
+    __slots__ = ("_gaps",)
+
+    def __init__(self, process: "Poisson", rng: random.Random, batch: int = _BATCH) -> None:
+        self._gaps = BatchedExponentials(rng, process.rate, batch)
+
+    def next_arrival(self, now: float) -> float:
+        return now + self._gaps.next()
+
+
+class BatchedDiurnal(BatchedArrivals):
+    """Lewis-Shedler thinning over prefetched uniforms.
+
+    Draw order matches ``DiurnalPoisson.next_arrival`` exactly: one uniform
+    for the candidate gap, one for the accept test, repeated until accepted.
+    """
+
+    __slots__ = ("_process", "_uniforms", "_ceiling")
+
+    def __init__(self, process: "DiurnalPoisson", rng: random.Random, batch: int = _BATCH) -> None:
+        self._process = process
+        self._uniforms = BatchedUniforms(rng, batch)
+        self._ceiling = process.base_rate * (1.0 + process.amplitude)
+
+    def next_arrival(self, now: float) -> float:
+        draw = self._uniforms.next
+        ceiling = self._ceiling
+        rate_at = self._process.rate_at
+        time = now
+        while True:
+            time += -_log(1.0 - draw()) / ceiling
+            if draw() <= rate_at(time) / ceiling:
+                return time
+
+
+class BatchedMMPP(BatchedArrivals):
+    """Markov-modulated Poisson over prefetched uniforms.
+
+    The calm/burst state machine moves from the wrapped process onto the
+    adapter (copied at wrap time), advanced with exactly the dwell and
+    candidate draws ``MMPPBurst.next_arrival`` would have made.
+    """
+
+    __slots__ = ("_process", "_uniforms", "_in_burst", "_state_until")
+
+    def __init__(self, process: "MMPPBurst", rng: random.Random, batch: int = _BATCH) -> None:
+        self._process = process
+        self._uniforms = BatchedUniforms(rng, batch)
+        self._in_burst = process._in_burst
+        self._state_until = process._state_until
+
+    def next_arrival(self, now: float) -> float:
+        draw = self._uniforms.next
+        process = self._process
+        in_burst = self._in_burst
+        state_until = self._state_until
+        time = now
+        while True:
+            while time >= state_until:
+                in_burst = not in_burst
+                dwell = process.mean_burst_s if in_burst else process.mean_calm_s
+                # expovariate(1.0 / dwell), bit for bit.
+                state_until += -_log(1.0 - draw()) / (1.0 / dwell)
+            rate = process.burst_rate if in_burst else process.calm_rate
+            candidate = time + -_log(1.0 - draw()) / rate
+            if candidate <= state_until:
+                self._in_burst = in_burst
+                self._state_until = state_until
+                return candidate
+            time = state_until
+
+
+__all__ = [
+    "BatchedArrivals",
+    "BatchedDiurnal",
+    "BatchedExponentials",
+    "BatchedLifetimes",
+    "BatchedMMPP",
+    "BatchedPoisson",
+    "BatchedUniforms",
+]

@@ -80,7 +80,7 @@ class TestExperimentRegistry:
             "R-T1", "R-T2", "R-T3",
             "R-F1", "R-F2", "R-F3", "R-F4", "R-F5",
             "R-F6", "R-F7", "R-F8", "R-F9", "R-F10",
-            "R-F-phase", "R-F-alerts",
+            "R-F-phase", "R-F-alerts", "R-F-hyperscale",
             "R-X1", "R-X2", "R-X3", "R-X4", "R-X5", "R-X6",
         }
 

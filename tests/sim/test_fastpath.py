@@ -235,7 +235,7 @@ def test_cancel_heavy_run_keeps_heap_bounded():
                 timer.cancel()
             timer = Event(sim)
             timer.succeed(delay=1_000.0)
-            peaks.append(sim.heap_size)
+            peaks.append(sim.queue_depth)
             yield sim.timeout(0.01)
 
     sim.spawn(driver())
@@ -251,7 +251,7 @@ def test_fair_share_link_heap_bounded():
     def submit(index):
         yield sim.timeout(index * 0.01)
         yield link.transfer(5e4)
-        peaks.append(sim.heap_size)
+        peaks.append(sim.queue_depth)
 
     for index in range(300):
         sim.spawn(submit(index))
