@@ -347,3 +347,52 @@ def test_storm_triage_on_throughput(benchmark):
     """48 linked clones, concurrency 12, telemetry + triage listener armed."""
     completed = benchmark(run_storm_triage_on, 48, 12)
     assert completed == 48
+
+
+def run_storm_recorder_on(total, concurrency):
+    """The triage storm with tail sampling and the flight recorder armed.
+
+    The full observability stack: telemetry + triage + a SampledTracer on
+    a span budget + the flight recorder listening for alerts and crashes.
+    A healthy storm fires nothing, so this rate guards the steady-state
+    cost of the armed recorder plus per-trace tail-sampling admission
+    against the triage-on baseline.
+    """
+    from repro.core.experiments import StormRig
+    from repro.telemetry.slo import AvailabilityRule, BurnWindow, RatioRule
+
+    rig = StormRig(
+        seed=0, hosts=8, datastores=2, telemetry=True,
+        scrape_interval_s=5.0, triage=True,
+        traced=True, sample_budget=1024, recorder=True,
+    )
+    windows = (BurnWindow(short_s=60.0, long_s=180.0, threshold=2.0),)
+    rig.telemetry.add_rule(
+        AvailabilityRule(
+            name="host-availability", objective=0.99,
+            metric_prefix="host_up", windows=windows,
+        )
+    )
+    rig.telemetry.add_rule(
+        RatioRule(
+            name="task-goodput",
+            objective=0.98,
+            bad_metric='tasks_completed_total{outcome="error"}',
+            total_metrics=(
+                'tasks_completed_total{outcome="success"}',
+                'tasks_completed_total{outcome="error"}',
+            ),
+            windows=windows,
+        )
+    )
+    rig.telemetry.start()
+    summary = rig.closed_loop_storm(total=total, concurrency=concurrency, linked=True)
+    assert not rig.recorder.is_null
+    assert rig.tracer.sampler.offered > 0
+    return int(summary["completed"])
+
+
+def test_storm_recorder_on_throughput(benchmark):
+    """48 linked clones, concurrency 12, sampling + recorder armed."""
+    completed = benchmark(run_storm_recorder_on, 48, 12)
+    assert completed == 48

@@ -1,0 +1,36 @@
+"""R-X7 (extension): incident flight recorder on a span budget.
+
+The R-X6 chaos sweep re-run with the tail sampler and the flight
+recorder on: every run traces under a fixed span budget, every fired
+alert (or server crash) snapshots a self-contained incident bundle.
+Expected shape: every alerting run produces at least one bundle whose
+retained spans overlap the injected fault window (coverage 100%), and
+pooled retained spans stay under a quarter of what unbounded tracing
+would have kept — the exhibit's evidence that post-hoc incident
+debugging survives a fixed trace-memory budget.
+"""
+
+
+def test_bench_x7_flight_recorder(exhibit):
+    result = exhibit("R-X7")
+
+    rows = {row[0]: row for row in result.rows}
+    assert "overall" in rows
+
+    # Every swept kind landed a row and was injected at least once.
+    from repro.triage.harness import QUICK_KINDS, SWEEP_KINDS
+
+    expected = set(QUICK_KINDS) if len(result.rows) <= len(QUICK_KINDS) + 2 \
+        else set(SWEEP_KINDS)
+    assert expected <= {label for label in rows if label != "overall"}
+    for kind in expected:
+        assert int(rows[kind][1]) >= 1  # runs
+
+    # The ISSUE gates: every alerting run covered, retention bounded.
+    overall = rows["overall"]
+    alerting, covered = int(overall[2]), int(overall[4])
+    assert alerting > 0
+    assert covered == alerting
+    assert overall[5] == "PASS"
+    assert "retention:" in result.notes
+    assert "FAIL" not in result.notes

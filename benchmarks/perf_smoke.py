@@ -42,6 +42,7 @@ from bench_kernel_micro import (  # noqa: E402
     run_spawn_churn,
     run_storm_bus_on,
     run_storm_journal_on,
+    run_storm_recorder_on,
     run_storm_telemetry_off,
     run_storm_triage_on,
     run_timeout_chain,
@@ -72,6 +73,7 @@ BENCHES = {
     "storm_journal_on": (run_storm_journal_on, (48, 12), 48, "linked clones"),
     "storm_bus_on": (run_storm_bus_on, (48, 12), 48, "linked clones"),
     "storm_triage_on": (run_storm_triage_on, (48, 12), 48, "linked clones"),
+    "storm_recorder_on": (run_storm_recorder_on, (48, 12), 48, "linked clones"),
 }
 
 

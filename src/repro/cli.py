@@ -13,7 +13,8 @@ Commands:
   exactly-once invariant check printed.
 - ``trace`` — a traced clone storm: per-phase attribution and the
   critical path printed, span tree exportable as Chrome trace JSON
-  (load in ``chrome://tracing`` / Perfetto) or JSONL.
+  (load in ``chrome://tracing`` / Perfetto) or JSONL; ``--sample``
+  runs the tracer through tail-based retention on a span budget.
 - ``metrics`` — a telemetry-instrumented deploy storm: live-scraped
   roll-ups rendered as a ``top``-style dashboard (utilization, queue
   depths, breaker states, retry budget, burn-rate alerts), with
@@ -21,6 +22,10 @@ Commands:
 - ``triage`` — a single-fault chaos run with the incident-triage engine
   attached: every SLO alert burst becomes a ranked root-cause verdict
   with its evidence chain, graded against the injected ground truth.
+- ``incident`` — the same chaos run with the flight recorder on: every
+  fired alert (and server crash) snapshots a self-contained incident
+  bundle (windows, exemplars, retained traces, bus stats, verdict),
+  rendered and optionally exported as JSON.
 - ``hyperscale`` — the R-F-hyperscale fleet cells (up to 1M VMs on raw
   kernel timers) with live events/s and peak-RSS columns.
 - ``list`` — enumerate profiles and experiments.
@@ -124,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-out", help="write spans as Chrome trace-event JSON"
     )
     trace_cmd.add_argument("--jsonl-out", help="write spans as JSONL")
+    trace_cmd.add_argument(
+        "--sample", type=int, default=None, metavar="BUDGET",
+        help="tail-sample traces under a retained-span budget "
+        "(default: retain everything)",
+    )
 
     metrics_cmd = sub.add_parser(
         "metrics",
@@ -185,6 +195,28 @@ def build_parser() -> argparse.ArgumentParser:
                             help="arrival window in sim seconds")
     triage_cmd.add_argument("--no-evidence", action="store_true",
                             help="omit per-hypothesis evidence chains")
+
+    incident_cmd = sub.add_parser(
+        "incident",
+        help="chaos run with the flight recorder: alert-triggered bundles",
+    )
+    incident_cmd.add_argument(
+        "--kind",
+        default="host_flap",
+        help="fault kind to inject (see repro.triage.harness.SWEEP_KINDS), "
+        "or 'none' for a fault-free run",
+    )
+    incident_cmd.add_argument("--seed", type=int, default=0)
+    incident_cmd.add_argument("--duration", type=float, default=600.0,
+                              help="arrival window in sim seconds")
+    incident_cmd.add_argument(
+        "--sample", type=int, default=2048, metavar="BUDGET",
+        help="tail-sampling span budget for the retained traces",
+    )
+    incident_cmd.add_argument(
+        "--bundle-out",
+        help="write the bundles as JSON (one file, or JSONL with .jsonl)",
+    )
 
     hyperscale_cmd = sub.add_parser(
         "hyperscale",
@@ -460,7 +492,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     from repro.tracing import write_chrome_trace, write_spans_jsonl
 
-    rig = StormRig(seed=args.seed, traced=True)
+    if args.sample is not None and args.sample < 1:
+        print("error: --sample must be >= 1", file=sys.stderr)
+        return 2
+    rig = StormRig(seed=args.seed, traced=True, sample_budget=args.sample)
     outcome = rig.closed_loop_storm(
         args.clones, args.concurrency, linked=not args.full
     )
@@ -472,6 +507,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
         f"{len(rig.tracer.spans)} spans, "
         f"{len(rig.tracer.open_spans())} left open"
     )
+    if args.sample is not None:
+        summary = rig.tracer.retention_summary()
+        kept = ", ".join(
+            f"{summary[f'kept_{cls}']} {cls}"
+            for cls in ("error", "retry", "slow", "normal")
+        )
+        print(
+            f"tail sampling: {summary['retained_spans']} of "
+            f"{summary['offered_spans']} spans retained "
+            f"(budget {summary['span_budget']}), "
+            f"{summary['retained_trees']} trees kept ({kept}), "
+            f"{summary['dropped']} dropped, {summary['evicted']} evicted"
+        )
+        # Dropped trees lost their child index — only retained trees can
+        # be attributed or walked for a critical path below.
+        retained = {tree.trace_id for tree in rig.tracer.retained_trees()}
+        tasks = [
+            task for task in tasks if task.span.context.trace_id in retained
+        ]
+        roots = [task.span for task in tasks]
+        if not roots:
+            print("(no retained traces to attribute)")
+            return 0
+        print(f"(attribution below covers the {len(roots)} retained traces)")
 
     totals: dict[str, float] = {}
     for root in roots:
@@ -801,6 +860,68 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_incident(args: argparse.Namespace) -> int:
+    from repro.telemetry import write_incident_bundle, write_incident_bundles
+    from repro.triage.harness import SWEEP_KINDS, run_triage_point
+
+    kind = None if args.kind == "none" else args.kind
+    if kind is not None and kind not in SWEEP_KINDS:
+        print(
+            f"error: unknown fault kind {args.kind!r} "
+            f"(choose from: none, {', '.join(SWEEP_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.duration <= 0:
+        print("error: duration must be positive", file=sys.stderr)
+        return 2
+    if args.sample < 1:
+        print("error: --sample must be >= 1", file=sys.stderr)
+        return 2
+
+    point = run_triage_point(
+        args.seed,
+        kind,
+        duration_s=args.duration,
+        traced=True,
+        sample_budget=args.sample,
+        recorder=True,
+    )
+    print(
+        f"chaos run: seed {point.seed}, injected "
+        f"{point.kind or 'nothing'}, {point.completed} tasks completed, "
+        f"{point.alerts} alert firings, {len(point.bundles)} incident "
+        f"bundles"
+    )
+    print("\nground truth:")
+    for line in point.manifest.describe() or ["  (no faults injected)"]:
+        print(f"  {line}")
+    retention = point.retention or {}
+    if retention:
+        print(
+            f"\ntail sampling: {retention['retained_spans']} of "
+            f"{retention['offered_spans']} spans retained "
+            f"(budget {retention['span_budget']}, "
+            f"{retention['retained_trees']} trees)"
+        )
+    print("\nincident bundles:")
+    if not point.bundles:
+        print("  (no alerts fired, nothing recorded)")
+    for bundle in point.bundles:
+        for line in bundle.render():
+            print(f"  {line}")
+        print()
+    if args.bundle_out:
+        if args.bundle_out.endswith(".jsonl"):
+            path = write_incident_bundles(point.bundles, args.bundle_out)
+        elif len(point.bundles) == 1:
+            path = write_incident_bundle(point.bundles[0], args.bundle_out)
+        else:
+            path = write_incident_bundles(point.bundles, args.bundle_out)
+        print(f"wrote {len(point.bundles)} bundles to {path}")
+    return 0
+
+
 def cmd_hyperscale(args: argparse.Namespace) -> int:
     from repro.core.experiments import hyperscale_sweep
 
@@ -858,6 +979,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "metrics": cmd_metrics,
     "bus": cmd_bus,
     "triage": cmd_triage,
+    "incident": cmd_incident,
     "hyperscale": cmd_hyperscale,
     "list": cmd_list,
 }

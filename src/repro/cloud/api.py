@@ -192,7 +192,10 @@ class ApiGateway:
         self.metrics.counter("admitted").add()
         self.metrics.latency("admission_wait").record(wait)
         self._t_admitted.add()
-        self._t_wait.observe(wait)
+        self._t_wait.observe(
+            wait,
+            trace_id=None if admit_span.is_null else admit_span.context.trace_id,
+        )
         return wait
 
     def submit_deploy(

@@ -214,7 +214,10 @@ class CloudDirector:
         self.metrics.latency("deploy_latency").record(vapp.deploy_latency)
         self.metrics.counter(f"vapp_{vapp.state.value}").add()
         self._t_deploys.add()
-        self._t_deploy_latency.observe(vapp.deploy_latency)
+        self._t_deploy_latency.observe(
+            vapp.deploy_latency,
+            trace_id=None if request_span.is_null else request_span.context.trace_id,
+        )
         return vapp
 
     def _deploy_one(

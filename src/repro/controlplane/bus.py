@@ -75,6 +75,12 @@ class Message:
     bridge settles with the handler's outcome; ``task`` (optional) links
     the message to the control-plane task it serves so a bus-level dead
     letter lands in the task manager's deduplicated sink.
+
+    The envelope also carries the originating attempt's trace identity
+    (``trace_id`` / ``origin_span_id``, captured from ``span`` at publish
+    time): redelivered copies, fault-injected duplicates, and dead letters
+    all attribute back to the root trace even after the live span object
+    is finished or the copy outlives the attempt that published it.
     """
 
     __slots__ = (
@@ -84,6 +90,8 @@ class Message:
         "reply",
         "task",
         "span",
+        "trace_id",
+        "origin_span_id",
         "published_at",
         "enqueued_at",
         "redeliveries",
@@ -102,6 +110,8 @@ class Message:
         reply: Event | None = None,
         task: typing.Any = None,
         span: typing.Any = NULL_SPAN,
+        trace_id: int | None = None,
+        origin_span_id: int | None = None,
     ) -> None:
         self.key = key
         self.payload = payload
@@ -109,6 +119,11 @@ class Message:
         self.reply = reply
         self.task = task
         self.span = span
+        if trace_id is None and not span.is_null:
+            trace_id = span.context.trace_id
+            origin_span_id = span.context.span_id
+        self.trace_id = trace_id
+        self.origin_span_id = origin_span_id
         self.published_at = published_at
         self.enqueued_at = published_at
         self.redeliveries = 0
@@ -127,6 +142,8 @@ class Message:
             reply=self.reply,
             task=self.task,
             span=self.span,
+            trace_id=self.trace_id,
+            origin_span_id=self.origin_span_id,
         )
 
     def __repr__(self) -> str:
@@ -177,6 +194,10 @@ class _PutRequest(Event):
             pass
 
 
+#: Ring size for per-topic dead-letter attribution records.
+RECENT_DEAD_LIMIT = 32
+
+
 class Topic:
     """One named point-to-point queue: bounded, single-subscriber."""
 
@@ -190,6 +211,7 @@ class Topic:
         "putters",
         "stats",
         "subscribed",
+        "recent_dead",
     )
 
     def __init__(self, bus: "MessageBus", name: str, capacity: int, overflow: str) -> None:
@@ -206,6 +228,11 @@ class Topic:
         self.putters: deque[_PutRequest] = deque()
         self.stats = TopicStats()
         self.subscribed = False
+        # (key, trace_id, time, reason) for the last few dead letters —
+        # the incident recorder lifts these into bundles.
+        self.recent_dead: deque[tuple[str, int | None, float, str]] = deque(
+            maxlen=RECENT_DEAD_LIMIT
+        )
 
     @property
     def full(self) -> bool:
@@ -619,7 +646,7 @@ class MessageBus:
             topic.stats.waits += 1
             topic.stats.total_wait_s += wait
             self._t_delivered.add()
-            self._t_queue_wait.observe(wait)
+            self._t_queue_wait.observe(wait, trace_id=message.trace_id)
             if message.wait_span is not None:
                 message.wait_span.finish()
                 message.wait_span = None
@@ -687,6 +714,9 @@ class MessageBus:
         self._dead_keys.add(key)
         topic.stats.dead_lettered += 1
         self._t_dead_letter.add()
+        topic.recent_dead.append((key, message.trace_id, self.sim.now, reason))
+        if not message.span.is_null:
+            message.span.annotate("bus.dead_letter", reason)
         error = MessageLost(f"{topic.name}:{key}: {reason}")
         if message.reply is not None and not message.reply.triggered:
             message.reply.fail(error)

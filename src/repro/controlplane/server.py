@@ -137,6 +137,10 @@ class ManagementServer:
         self.tasks.recovery = self.recovery
         self._crash_tokens: set = set()
         self._inflight: set[Process] = set()
+        # Read-only observers of crash onset, called as listener(server, now)
+        # on the first active token only (the incident recorder snapshots
+        # here). Listeners must not mutate simulation state.
+        self.crash_listeners: list = []
         # Message bus (NULL_BUS = off). A mediated bus carries the
         # submit and host-agent hops through topics: the submission
         # consumer starts here, per-host consumers start in adopt_host,
@@ -346,6 +350,8 @@ class ManagementServer:
         victims = [p for p in self._inflight if p.is_alive]
         self.metrics.counter("crashes").add()
         self.recovery.on_crash(interrupted=len(victims))
+        for listener in self.crash_listeners:
+            listener(self, self.sim.now)
         for process in victims:
             process.interrupt(ServerCrashed(f"{self.name} crashed"))
 

@@ -506,7 +506,10 @@ class TaskManager:
         self.metrics.latency("latency.all").record(task.latency)
         outcome = self._t_success if task.state is TaskState.SUCCESS else self._t_error
         outcome.add()
-        self._t_latency.observe(task.latency)
+        self._t_latency.observe(
+            task.latency,
+            trace_id=None if task.span.is_null else task.span.context.trace_id,
+        )
         if self.event_log is not None:
             severity = "info" if task.state == TaskState.SUCCESS else "warning"
             self.event_log.post(

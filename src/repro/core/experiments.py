@@ -33,7 +33,8 @@ from repro.operations.reconfiguration import AddHost, RescanDatastore
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 from repro.telemetry.metrics import NULL_TELEMETRY, Telemetry
-from repro.tracing import NULL_TRACER, Tracer
+from repro.telemetry.recorder import NULL_RECORDER, FlightRecorder
+from repro.tracing import NULL_TRACER, RetentionPolicy, SampledTracer, Tracer
 from repro.triage.engine import NULL_TRIAGE, TriageEngine
 from repro.workloads.arrivals import MMPPBurst, Poisson
 from repro.workloads.lifetimes import CLASSIC_DC_LIFETIME, CLOUD_A_LIFETIME
@@ -87,10 +88,19 @@ class StormRig:
         direct_calls: bool = True,
         triage: bool = False,
         queue: str | None = None,
+        sample_budget: int | None = None,
+        recorder: bool = False,
     ) -> None:
         self.sim = Simulator(queue=queue)
         self.streams = RandomStreams(seed)
-        self.tracer = Tracer(self.sim) if traced else NULL_TRACER
+        # sample_budget switches traced runs onto tail-based retention:
+        # full span trees inside a fixed budget instead of keep-everything.
+        if traced and sample_budget is not None:
+            self.tracer = SampledTracer(
+                self.sim, RetentionPolicy(span_budget=sample_budget)
+            )
+        else:
+            self.tracer = Tracer(self.sim) if traced else NULL_TRACER
         self.telemetry = (
             Telemetry(self.sim, scrape_interval_s=scrape_interval_s)
             if telemetry
@@ -127,6 +137,20 @@ class StormRig:
             TriageEngine(self.telemetry, tracer=self.tracer).attach()
             if triage and telemetry
             else NULL_TRIAGE
+        )
+        # recorder=True attaches the incident flight recorder *after*
+        # triage (listener order is call order, and a bundle wants the
+        # verdict that triggered it). Read-only like triage, so schedules
+        # stay byte-identical with it attached.
+        self.recorder = (
+            FlightRecorder(
+                self.telemetry,
+                tracer=self.tracer,
+                bus=self.bus,
+                triage=self.triage if triage else None,
+            ).attach(server=self.server)
+            if recorder and telemetry
+            else NULL_RECORDER
         )
         inventory = self.server.inventory
         self.datacenter = inventory.create(Datacenter, name="dc")
@@ -1857,6 +1881,115 @@ def experiment_x6_triage(seed: int = 0, quick: bool = False) -> ExperimentResult
     )
 
 
+def experiment_x7_flight_recorder(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """R-X7 (extension): the incident flight recorder over the chaos sweep.
+
+    Re-runs the R-X6 randomized single-fault chaos harness with the tail
+    sampler and the flight recorder on: every run traces under a fixed
+    span budget, and every fired SLO alert (or server crash) snapshots an
+    incident bundle — alerts, roll-up windows, exemplar-linked retained
+    span trees, bus attributions, and the triage verdict in one JSON
+    document. The exhibit answers two questions:
+
+    - **coverage** — does every alerting run produce at least one bundle
+      whose retained spans overlap the injected fault window (plus the
+      triage grace period)?
+    - **retention** — does tail sampling hold retained spans to a bounded
+      fraction of what unbounded tracing would have kept?
+
+    Acceptance: bundle coverage 100% of alerting runs, and pooled
+    retained-span peak <= 25% of the full-trace span count.
+    """
+    from repro.triage.harness import QUICK_KINDS, SWEEP_KINDS, run_triage_point
+
+    grace_s = 240.0
+    budget = 2048
+    kinds = QUICK_KINDS if quick else SWEEP_KINDS
+    runs_per_kind = 1 if quick else 2
+    per_kind: dict[str, dict[str, int]] = {
+        kind: {"runs": 0, "alerting": 0, "bundles": 0, "covered": 0}
+        for kind in kinds
+    }
+    retained_total = 0
+    offered_total = 0
+    for index in range(runs_per_kind * len(kinds)):
+        kind = kinds[index % len(kinds)]
+        point = run_triage_point(
+            seed + index,
+            kind,
+            grace_s=grace_s,
+            traced=True,
+            sample_budget=budget,
+            recorder=True,
+        )
+        row = per_kind[kind]
+        row["runs"] += 1
+        row["bundles"] += len(point.bundles)
+        retained_total += point.retention["retained_spans"]
+        offered_total += point.retention["offered_spans"]
+        if point.alerts == 0:
+            continue
+        row["alerting"] += 1
+        window = point.manifest.windows[0]
+        if any(
+            bundle.spans_overlapping(window.start_s, window.end_s + grace_s) > 0
+            for bundle in point.bundles
+        ):
+            row["covered"] += 1
+
+    rows = []
+    for kind in kinds:
+        row = per_kind[kind]
+        rows.append(
+            [
+                kind,
+                row["runs"],
+                row["alerting"],
+                row["bundles"],
+                row["covered"],
+                "PASS" if row["covered"] == row["alerting"] else "FAIL",
+            ]
+        )
+    alerting = sum(r["alerting"] for r in per_kind.values())
+    covered = sum(r["covered"] for r in per_kind.values())
+    bundles = sum(r["bundles"] for r in per_kind.values())
+    runs = sum(r["runs"] for r in per_kind.values())
+    rows.append(
+        [
+            "overall",
+            runs,
+            alerting,
+            bundles,
+            covered,
+            "PASS" if covered == alerting else "FAIL",
+        ]
+    )
+
+    ratio = retained_total / offered_total if offered_total else 0.0
+    coverage_ok = covered == alerting and alerting > 0
+    retention_ok = ratio <= 0.25
+    notes = "\n".join(
+        [
+            f"{runs} chaos runs traced under a {budget}-span budget with the "
+            f"flight recorder attached; {alerting} runs fired alerts and "
+            f"produced {bundles} incident bundles",
+            f"bundle coverage: {covered}/{alerting} alerting runs have a "
+            f"bundle whose retained spans overlap the injected fault window "
+            f"(+{grace_s:g}s grace): {'PASS' if coverage_ok else 'FAIL'}",
+            f"retention: {retained_total} retained spans vs {offered_total} "
+            f"full-trace spans = {ratio:.1%} (gate <= 25%): "
+            f"{'PASS' if retention_ok else 'FAIL'}",
+        ]
+    )
+    return ExperimentResult(
+        exp_id="R-X7",
+        title="Incident flight recorder: bundle coverage on a span budget (extension)",
+        headers=["fault kind", "runs", "alerting", "bundles", "covered", "gate"],
+        rows=rows,
+        notes=notes,
+    )
+
+
 # --------------------------------------------------------------------------
 # R-F-hyperscale — million-VM fleet cells on the hyperscale kernel.
 # --------------------------------------------------------------------------
@@ -2045,6 +2178,7 @@ EXPERIMENTS: dict[str, typing.Callable[..., ExperimentResult]] = {
     "R-X4": experiment_x4_crash_mttr,
     "R-X5": experiment_x5_bus_chaos,
     "R-X6": experiment_x6_triage,
+    "R-X7": experiment_x7_flight_recorder,
 }
 
 

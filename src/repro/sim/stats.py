@@ -199,9 +199,19 @@ class LogHistogram:
     with the same base merge exactly (bucket-wise addition), which is what
     lets scrape-window rollups collapse into coarser windows without
     revisiting raw samples.
+
+    Buckets may optionally carry an **exemplar** — the trace id (plus the
+    exact value) of one recent observation that landed in the bucket.
+    Exemplars ride along through :meth:`merge` (the incoming histogram's
+    exemplar wins, being newer), so a rolled-up tail bucket can still name
+    a concrete trace to open. Allocation is lazy: histograms that never
+    see an exemplar pay one None slot.
     """
 
-    __slots__ = ("name", "base", "zeros", "_buckets", "_count", "_sum", "_min", "_max")
+    __slots__ = (
+        "name", "base", "zeros", "_buckets", "_count", "_sum", "_min", "_max",
+        "exemplars",
+    )
 
     def __init__(self, name: str = "", base: float = LOG_HISTOGRAM_BASE) -> None:
         if not base > 1.0:
@@ -214,6 +224,8 @@ class LogHistogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        # bucket index -> (trace_id, observed value); None until first use.
+        self.exemplars: dict[int, tuple[int, float]] | None = None
 
     def _index(self, value: float) -> int:
         index = math.floor(math.log(value) / math.log(self.base))
@@ -224,7 +236,9 @@ class LogHistogram:
             index += 1
         return index
 
-    def record(self, value: float, count: int = 1) -> None:
+    def record(
+        self, value: float, count: int = 1, exemplar: int | None = None
+    ) -> None:
         if not math.isfinite(value):
             raise ValueError(f"histogram {self.name!r} value must be finite, got {value!r}")
         if value < 0:
@@ -236,6 +250,10 @@ class LogHistogram:
         else:
             index = self._index(value)
             self._buckets[index] = self._buckets.get(index, 0) + count
+            if exemplar is not None:
+                if self.exemplars is None:
+                    self.exemplars = {}
+                self.exemplars[index] = (exemplar, value)
         self._count += count
         self._sum += value * count
         self._min = min(self._min, value)
@@ -250,6 +268,11 @@ class LogHistogram:
         self.zeros += other.zeros
         for index, count in other._buckets.items():
             self._buckets[index] = self._buckets.get(index, 0) + count
+        if other.exemplars:
+            if self.exemplars is None:
+                self.exemplars = {}
+            # The incoming histogram is the newer window: its exemplars win.
+            self.exemplars.update(other.exemplars)
         self._count += other._count
         self._sum += other._sum
         self._min = min(self._min, other._min)
@@ -324,6 +347,15 @@ class LogHistogram:
             return 0
         cut = self._index(threshold)
         return sum(count for index, count in self._buckets.items() if index >= cut)
+
+    def exemplar_entries(self) -> list[tuple[float, int, float]]:
+        """Sorted (bucket upper bound, trace id, observed value) triples."""
+        if not self.exemplars:
+            return []
+        return [
+            (self.base ** (index + 1), trace_id, value)
+            for index, (trace_id, value) in sorted(self.exemplars.items())
+        ]
 
     def buckets(self) -> list[tuple[float, int]]:
         """Sorted (bucket upper bound, count) pairs, zeros bucket first."""

@@ -14,14 +14,22 @@ itself a major database workload. Four pieces:
 - :mod:`~repro.telemetry.slo` — multi-window burn-rate SLO rules and the
   alert timeline; :mod:`~repro.telemetry.export` and
   :mod:`~repro.telemetry.dashboard` render the results.
+- :mod:`~repro.telemetry.recorder` — the incident flight recorder:
+  alert- and crash-triggered self-contained JSON bundles tying alerts,
+  roll-up windows, exemplar-linked span trees, bus stats, and the triage
+  verdict together; :data:`NULL_RECORDER` is the zero-cost off switch.
 """
 
 from repro.telemetry.dashboard import render_dashboard, sparkline
 from repro.telemetry.export import (
     alerts_jsonl,
     prometheus_text,
+    read_incident_bundle,
+    read_incident_bundles,
     rollups_jsonl,
     write_alerts,
+    write_incident_bundle,
+    write_incident_bundles,
     write_prometheus,
     write_rollups,
 )
@@ -34,6 +42,12 @@ from repro.telemetry.metrics import (
     Probe,
     Telemetry,
     format_metric_id,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    IncidentBundle,
+    NullFlightRecorder,
 )
 from repro.telemetry.rollup import DEFAULT_RETENTION, RollupSeries, Window, merge_windows
 from repro.telemetry.scraper import Scraper
@@ -56,10 +70,14 @@ __all__ = [
     "BurnWindow",
     "DEFAULT_BURN_WINDOWS",
     "DEFAULT_RETENTION",
+    "FlightRecorder",
+    "IncidentBundle",
     "LatencyRule",
     "MetricFamily",
     "NULL_METRIC",
+    "NULL_RECORDER",
     "NULL_TELEMETRY",
+    "NullFlightRecorder",
     "NullMetric",
     "NullTelemetry",
     "Probe",
@@ -74,10 +92,14 @@ __all__ = [
     "format_metric_id",
     "merge_windows",
     "prometheus_text",
+    "read_incident_bundle",
+    "read_incident_bundles",
     "render_dashboard",
     "rollups_jsonl",
     "sparkline",
     "write_alerts",
+    "write_incident_bundle",
+    "write_incident_bundles",
     "write_prometheus",
     "write_rollups",
 ]

@@ -51,13 +51,16 @@ def _fmt_row(label: str, body: str) -> str:
 
 
 def render_dashboard(
-    telemetry: "Telemetry", title: str = "repro top", triage=None
+    telemetry: "Telemetry", title: str = "repro top", triage=None, recorder=None
 ) -> str:
     """Render the current telemetry state as a text dashboard.
 
     Pass the rig's :class:`~repro.triage.engine.TriageEngine` as
     ``triage`` to append the incident drill-down: one block per verdict
-    with its ranked hypotheses and evidence chains.
+    with its ranked hypotheses and evidence chains. Pass the
+    :class:`~repro.telemetry.recorder.FlightRecorder` as ``recorder`` to
+    append the incident-bundle drill-down (windows, exemplars, retained
+    traces, bus attributions per bundle).
     """
     lines = [f"== {title} @ t={telemetry.sim.now:.1f}s "
              f"(scrapes={telemetry.scraper.scrapes}, "
@@ -156,4 +159,14 @@ def render_dashboard(
                 lines.extend("  " + line for line in verdict.render(evidence=True))
         else:
             lines.append("  (no alerts fired, no verdicts)")
+
+    # Flight-recorder drill-down: one block per incident bundle.
+    if recorder is not None and not getattr(recorder, "is_null", False):
+        bundles = list(recorder.bundles)
+        section(f"-- incident bundles ({len(bundles)}) --")
+        if bundles:
+            for bundle in bundles:
+                lines.extend("  " + line for line in bundle.render())
+        else:
+            lines.append("  (no incidents recorded)")
     return "\n".join(lines) + "\n"

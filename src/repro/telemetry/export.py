@@ -151,3 +151,43 @@ def write_alerts(telemetry: Telemetry, path: str | pathlib.Path) -> pathlib.Path
         for line in alerts_jsonl(telemetry):
             handle.write(line + "\n")
     return path
+
+
+def write_incident_bundle(bundle, path: str | pathlib.Path) -> pathlib.Path:
+    """One :class:`~repro.telemetry.recorder.IncidentBundle` as a JSON file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle.to_dict(), sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def write_incident_bundles(
+    bundles: typing.Iterable, path: str | pathlib.Path
+) -> pathlib.Path:
+    """A flight recorder's bundles as JSONL, one bundle per line."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for bundle in bundles:
+            handle.write(json.dumps(bundle.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_incident_bundle(path: str | pathlib.Path):
+    """Read one bundle JSON file back (inverse of :func:`write_incident_bundle`)."""
+    from repro.telemetry.recorder import IncidentBundle
+
+    return IncidentBundle.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def read_incident_bundles(path: str | pathlib.Path) -> list:
+    """Read a JSONL bundle dump back (inverse of :func:`write_incident_bundles`)."""
+    from repro.telemetry.recorder import IncidentBundle
+
+    out = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(IncidentBundle.from_dict(json.loads(line)))
+    return out

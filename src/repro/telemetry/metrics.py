@@ -103,8 +103,13 @@ class THistogram:
         self.labels = labels
         self.hist = LogHistogram(name, base=base)
 
-    def observe(self, value: float) -> None:
-        self.hist.record(value)
+    def observe(self, value: float, trace_id: int | None = None) -> None:
+        """Record an observation, optionally stamping a trace-id exemplar.
+
+        Callers pass ``trace_id`` only when tracing is live (guard on
+        ``span.is_null``), so the untraced path stays allocation-free.
+        """
+        self.hist.record(value, exemplar=trace_id)
 
 
 class NullMetric:
@@ -123,7 +128,7 @@ class NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: int | None = None) -> None:
         pass
 
 

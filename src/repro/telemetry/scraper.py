@@ -137,6 +137,15 @@ class Scraper:
                 delta._buckets[index] = count - previous
         delta._count = hist.count - cursor.count
         delta._sum = hist.total - cursor.sum
+        if hist.exemplars:
+            # Carry exemplars only for buckets that grew this window, so a
+            # window's exemplar really is an observation from that window.
+            for index in delta._buckets:
+                entry = hist.exemplars.get(index)
+                if entry is not None:
+                    if delta.exemplars is None:
+                        delta.exemplars = {}
+                    delta.exemplars[index] = entry
         # Exact min/max of just-this-delta are unknowable from cumulative
         # state; bound them by the delta's own bucket range.
         if delta._buckets:

@@ -13,7 +13,11 @@ Pieces:
   :data:`NULL_SPAN`;
 - :mod:`repro.tracing.tracer` — the :class:`Tracer` registry (and its
   disabled twin :data:`NULL_TRACER`);
-- :mod:`repro.tracing.export` — Chrome trace-event JSON and JSONL dumps;
+- :mod:`repro.tracing.sampling` — tail-based retention:
+  :class:`SampledTracer` keeps finished trace trees inside a fixed span
+  budget via keep-policies (errors, retries, slow, normal reservoir);
+- :mod:`repro.tracing.export` — Chrome trace-event JSON and JSONL dumps,
+  with flow events linking retry attempts;
 - :mod:`repro.analysis.spans` — per-phase attribution,
   queueing-vs-service decomposition, and critical-path extraction over
   span trees.
@@ -25,8 +29,16 @@ export in ``chrome://tracing``.
 from repro.tracing.export import (
     chrome_trace_events,
     read_spans_jsonl,
+    retry_flow_events,
     write_chrome_trace,
     write_spans_jsonl,
+)
+from repro.tracing.sampling import (
+    KEEP_CLASSES,
+    RetainedTree,
+    RetentionPolicy,
+    SampledTracer,
+    TailSampler,
 )
 from repro.tracing.span import (
     DATA_PHASES,
@@ -58,6 +70,7 @@ from repro.tracing.tracer import (
 
 __all__ = [
     "DATA_PHASES",
+    "KEEP_CLASSES",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
@@ -76,12 +89,17 @@ __all__ = [
     "PHASE_RETRY",
     "PHASE_TASK",
     "PHASES",
+    "RetainedTree",
+    "RetentionPolicy",
+    "SampledTracer",
     "Span",
     "SpanContext",
+    "TailSampler",
     "Tracer",
     "chrome_trace_events",
     "plane_seconds_from_span",
     "read_spans_jsonl",
+    "retry_flow_events",
     "write_chrome_trace",
     "write_spans_jsonl",
 ]

@@ -122,6 +122,7 @@ class Span:
             self.end = self.tracer.now
             if error is not None:
                 self.tags["error"] = error
+            self.tracer._finished(self)
         return self
 
     def annotate(self, key: str, value: typing.Any) -> None:

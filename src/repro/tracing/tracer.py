@@ -28,10 +28,14 @@ class Tracer:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.spans: list[Span] = []
         self._children: dict[int, list[Span]] = {}
         self._next_trace_id = 0
         self._next_span_id = 0
+        self._init_store()
+
+    def _init_store(self) -> None:
+        """Set up the span store (subclasses swap in bounded retention)."""
+        self.spans: list[Span] = []
 
     @property
     def now(self) -> float:
@@ -80,10 +84,21 @@ class Tracer:
             start=self.sim.now,
             tags=tags,
         )
-        self.spans.append(span)
+        self._store(span)
         if parent_id is not None:
             self._children.setdefault(parent_id, []).append(span)
         return span
+
+    def _store(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def _finished(self, span: Span) -> None:
+        """Finish hook, called by :meth:`Span.finish` on first close.
+
+        The base tracer retains everything, so nothing happens here;
+        :class:`~repro.tracing.sampling.SampledTracer` overrides it to
+        seal finished trace trees through the tail sampler.
+        """
 
     # -- structural queries --------------------------------------------------
 

@@ -48,6 +48,7 @@ from repro.faults import (
     ShardCrash,
     TopicPartition,
 )
+from repro.telemetry.recorder import NULL_RECORDER, FlightRecorder
 from repro.triage.engine import TriageEngine, Verdict
 from repro.triage.scoring import ScoreReport, TriageScorer
 
@@ -144,6 +145,9 @@ class TriagePoint:
     alerts: int
     scrapes: int
     completed: int
+    # Flight-recorder outputs (empty/None unless recorder=True).
+    bundles: list = dataclasses.field(default_factory=list)
+    retention: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -162,8 +166,15 @@ def run_triage_point(
     triage: bool = True,
     traced: bool = False,
     grace_s: float = 240.0,
+    sample_budget: int | None = None,
+    recorder: bool = False,
 ) -> TriagePoint:
-    """One storm + one fault window + triage, scored against ground truth."""
+    """One storm + one fault window + triage, scored against ground truth.
+
+    ``sample_budget`` (with ``traced=True``) runs the tracer through
+    tail-based retention; ``recorder=True`` attaches the incident flight
+    recorder so every fired alert (and server crash) snapshots a bundle.
+    """
     from repro.cloud.api import AdmissionShed, ApiGateway
     from repro.cloud.catalog import Catalog, CatalogItem
     from repro.cloud.director import CloudDirector, DeployRequest
@@ -214,6 +225,7 @@ def run_triage_point(
         costs=costs,
         config=config,
         traced=traced,
+        sample_budget=sample_budget,
         telemetry=True,
         scrape_interval_s=5.0,
         journal=True,
@@ -331,6 +343,17 @@ def run_triage_point(
     engine = TriageEngine(telemetry, tracer=rig.tracer)
     if triage:
         engine.attach()
+    # The recorder listens after triage (listener order is call order), so
+    # every alert-triggered bundle already has the fresh verdict to embed.
+    if recorder:
+        flight = FlightRecorder(
+            telemetry,
+            tracer=rig.tracer,
+            bus=rig.bus,
+            triage=engine if triage else None,
+        ).attach(monitor=telemetry.monitor, server=server)
+    else:
+        flight = NULL_RECORDER
 
     schedule = kind_schedule(kind, rig.streams.stream("triage-schedule"), duration_s)
     injector = FaultInjector(
@@ -382,6 +405,12 @@ def run_triage_point(
         alerts=len([e for e in telemetry.monitor.timeline if e.kind == "fire"]),
         scrapes=telemetry.scraper.scrapes,
         completed=len(server.tasks.succeeded()),
+        bundles=list(flight.bundles),
+        retention=(
+            rig.tracer.retention_summary()
+            if hasattr(rig.tracer, "retention_summary")
+            else None
+        ),
     )
 
 
