@@ -26,6 +26,10 @@ Commands:
   fired alert (and server crash) snapshots a self-contained incident
   bundle (windows, exemplars, retained traces, bus stats, verdict),
   rendered and optionally exported as JSON.
+- ``federation`` — a skewed multi-tenant deploy storm over bus-federated
+  shards: locality-aware routing, work-stealing, spillover, optional
+  mid-run shard crash with failover, per-shard steal/spill/reroute
+  counters, and the cross-shard exactly-once verdict printed.
 - ``hyperscale`` — the R-F-hyperscale fleet cells (up to 1M VMs on raw
   kernel timers) with live events/s and peak-RSS columns.
 - ``list`` — enumerate profiles and experiments.
@@ -179,6 +183,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault window start in sim seconds")
     bus_cmd.add_argument("--fault-duration", type=float, default=60.0,
                          help="fault window length in sim seconds")
+
+    federation_cmd = sub.add_parser(
+        "federation",
+        help="skewed tenant storm over bus-federated shards: stealing, "
+        "spillover, shard-crash failover",
+    )
+    federation_cmd.add_argument("--shards", type=int, default=3)
+    federation_cmd.add_argument("--deploys", type=int, default=48,
+                                help="tenant deploys to drive through the federation")
+    federation_cmd.add_argument("--concurrency", type=int, default=10)
+    federation_cmd.add_argument("--orgs", type=int, default=9)
+    federation_cmd.add_argument("--skew", type=float, default=0.8,
+                                help="fraction of deploys aimed at shard 0's orgs")
+    federation_cmd.add_argument("--seed", type=int, default=0)
+    federation_cmd.add_argument("--affinity-only", action="store_true",
+                                help="classic org-pinned routing (no bus federation)")
+    federation_cmd.add_argument("--crash-at", type=float, default=None,
+                                help="crash the hot shard at this sim second")
+    federation_cmd.add_argument("--downtime", type=float, default=40.0,
+                                help="crash window length in sim seconds")
+    federation_cmd.add_argument(
+        "--crash-kind", choices=("shard_crash", "server_crash"),
+        default="shard_crash",
+        help="shard_crash rejects submissions; server_crash kills and replays",
+    )
+    federation_cmd.add_argument(
+        "--fault",
+        choices=("none", "drop", "duplicate", "delay", "reorder", "partition"),
+        default="none",
+        help="message fault to arm on the federation topics (default none)",
+    )
+    federation_cmd.add_argument("--rate", type=float, default=0.3,
+                                help="fault rate (drop/duplicate/reorder) or delay seconds")
 
     triage_cmd = sub.add_parser(
         "triage",
@@ -968,6 +1005,72 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federation(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_federation_fault_point
+
+    if args.deploys < 1 or args.concurrency < 1 or args.shards < 1 or args.orgs < 1:
+        print("error: counts must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.skew <= 1.0:
+        print("error: --skew must be in [0, 1]", file=sys.stderr)
+        return 2
+    result = run_federation_fault_point(
+        args.seed,
+        kind=None if args.fault == "none" else args.fault,
+        intensity=args.rate,
+        total=args.deploys,
+        concurrency=args.concurrency,
+        shards=args.shards,
+        orgs=args.orgs,
+        skew=args.skew,
+        crash_at_s=args.crash_at,
+        downtime_s=args.downtime,
+        crash_kind=args.crash_kind,
+        affinity_only=args.affinity_only,
+    )
+    mode = "affinity-only" if args.affinity_only else "bus-routed"
+    print(
+        f"federation storm ({mode}): {args.deploys} deploys, "
+        f"{args.shards} shards, skew={args.skew:.0%}, seed={args.seed}"
+    )
+    if args.crash_at is not None:
+        print(
+            f"  fault: {result.crash_kind} on the hot shard at "
+            f"{args.crash_at:.1f}s for {args.downtime:.0f}s"
+        )
+    if args.fault != "none":
+        print(f"  message fault: {args.fault} (intensity {args.rate:g})")
+    print()
+    header = (
+        f"  {'shard':<8} {'tasks_ok':>8} {'steals':>7} {'spills':>7} "
+        f"{'reroutes':>8} {'remote':>7}"
+    )
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for row in result.per_shard:
+        print(
+            f"  {row['shard']:<8} {row['tasks_completed']:>8} {row['steals']:>7} "
+            f"{row['spills']:>7} {row['reroutes']:>8} {row['remote_completions']:>7}"
+        )
+    print()
+    print(
+        f"  deploys: {result.completed}/{args.deploys} completed "
+        f"({result.failed} failed, {result.dead_letters} dead-lettered)"
+    )
+    print(
+        f"  goodput: {result.goodput_per_hour:.0f}/h  "
+        f"p95 deploy latency: {result.p95_latency_s:.1f}s  "
+        f"makespan: {result.makespan_s:.1f}s"
+    )
+    if result.violations:
+        print("\ncross-shard exactly-once VIOLATED:")
+        for violation in result.violations:
+            print(f"  - {violation}")
+        return 1
+    print("  cross-shard exactly-once: held")
+    return 0
+
+
 _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
@@ -978,6 +1081,7 @@ _HANDLERS: dict[str, typing.Callable[[argparse.Namespace], int]] = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "bus": cmd_bus,
+    "federation": cmd_federation,
     "triage": cmd_triage,
     "incident": cmd_incident,
     "hyperscale": cmd_hyperscale,

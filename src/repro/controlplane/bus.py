@@ -10,7 +10,18 @@ makes inter-component delivery first-class:
   shape every control-plane hop here has). Queues are bounded; the
   overflow policy is configurable per topic: ``block`` (publisher
   backpressure), ``shed_oldest`` (evict the head to dead letters), or
-  ``dead_letter`` (reject the incoming message).
+  ``dead_letter`` (reject the incoming message). A topic claimed with
+  :meth:`MessageBus.subscribe_shared` instead admits *many* consumers —
+  waiting getters are served FIFO, so a shared topic is a work-stealing
+  pool (the shard-federation submission topic in
+  :mod:`repro.cloud.federation`).
+- **Forwarding.** :meth:`MessageBus.forward` re-routes a delivered
+  message to another topic *without* consuming its idempotency key: the
+  delivered copy is acknowledged (its redelivery timer stops) and a
+  fresh copy with the same key, payload, and reply is published to the
+  target topic. This is the shard-failover hop — a submission pending on
+  a crashed shard's topic moves to the survivors' shared topic, and the
+  key discipline still guarantees at-most-once execution.
 - **At-least-once delivery.** Every message carries an idempotency key
   and arms a redelivery timer when offered; a copy lost in transit (a
   ``message_drop`` fault window) is re-sent when the timer fires, up to
@@ -164,6 +175,7 @@ class TopicStats:
     reordered: int = 0
     shed: int = 0
     dead_lettered: int = 0
+    forwarded: int = 0
     max_depth: int = 0
     waits: int = 0
     total_wait_s: float = 0.0
@@ -199,7 +211,7 @@ RECENT_DEAD_LIMIT = 32
 
 
 class Topic:
-    """One named point-to-point queue: bounded, single-subscriber."""
+    """One named bounded queue: single-subscriber unless marked ``shared``."""
 
     __slots__ = (
         "bus",
@@ -211,6 +223,7 @@ class Topic:
         "putters",
         "stats",
         "subscribed",
+        "shared",
         "recent_dead",
     )
 
@@ -228,6 +241,7 @@ class Topic:
         self.putters: deque[_PutRequest] = deque()
         self.stats = TopicStats()
         self.subscribed = False
+        self.shared = False
         # (key, trace_id, time, reason) for the last few dead letters —
         # the incident recorder lifts these into bundles.
         self.recent_dead: deque[tuple[str, int | None, float, str]] = deque(
@@ -434,6 +448,9 @@ class MessageBus:
         self._t_dead_letter = t.counter(
             "bus_dead_letter_total", help="messages the bus gave up on", **labels
         )
+        self._t_forwarded = t.counter(
+            "bus_forwarded_total", help="messages re-routed to another topic", **labels
+        )
         self._t_dead_letter_deduped = t.counter(
             "bus_dead_letter_deduped_total",
             help="dead-letter attempts suppressed (key already done or dead)",
@@ -483,6 +500,7 @@ class MessageBus:
             ("reordered", "messages that jumped the queue"),
             ("shed", "messages evicted by queue overflow"),
             ("dead_lettered", "messages this topic gave up on"),
+            ("forwarded", "messages re-routed to another topic"),
         ):
             self._telemetry.probe(
                 f"bus_topic_{field}",
@@ -496,9 +514,29 @@ class MessageBus:
     def subscribe(self, name: str, capacity: int | None = None, overflow: str | None = None) -> Topic:
         """Claim a topic's consumer side; topics are single-subscriber."""
         topic = self.topic(name, capacity=capacity, overflow=overflow)
+        if topic.shared:
+            raise RuntimeError(f"topic {name!r} is shared; use subscribe_shared")
         if topic.subscribed:
             raise RuntimeError(f"topic {name!r} already has a subscriber")
         topic.subscribed = True
+        return topic
+
+    def subscribe_shared(
+        self, name: str, capacity: int | None = None, overflow: str | None = None
+    ) -> Topic:
+        """Join a shared topic as one of many consumers (work-stealing).
+
+        Waiting getters are served FIFO, so whichever consumer has been
+        idle longest takes the next message — a pull-based work pool.
+        A topic already claimed exclusively cannot be joined, and vice
+        versa: the two subscription modes are mutually exclusive per
+        topic.
+        """
+        topic = self.topic(name, capacity=capacity, overflow=overflow)
+        if topic.subscribed and not topic.shared:
+            raise RuntimeError(f"topic {name!r} already has an exclusive subscriber")
+        topic.subscribed = True
+        topic.shared = True
         return topic
 
     def topic_stats(self) -> dict[str, TopicStats]:
@@ -722,6 +760,42 @@ class MessageBus:
             message.reply.fail(error)
         if self.dead_letter_sink is not None and message.task is not None:
             self.dead_letter_sink(message.task, error)
+
+    def forward(self, message: Message, topic_name: str) -> Event:
+        """Re-route a delivered message to another topic, keeping its key.
+
+        The delivered copy is acknowledged — its redelivery timer stops —
+        but the idempotency key is *not* consumed, so the forwarded copy
+        is still executable exactly once wherever it lands. The fresh
+        copy carries the same key, payload, reply, task link, and trace
+        identity; publication goes through the normal hazard pipeline
+        (delay faults, overflow policy, drop faults) as a spawned
+        process, whose event is returned.
+
+        This is the shard-failover primitive: a consumer that finds its
+        shard inside a crash window forwards pending submissions to the
+        survivors' shared topic instead of accepting them.
+        """
+        message.acked = True
+        if message.timer is not None and not message.timer.processed:
+            message.timer.cancel()
+            message.timer = None
+        source = self._topics[message.topic]
+        source.stats.forwarded += 1
+        self._t_forwarded.add()
+        if not message.span.is_null:
+            message.span.annotate("bus.forwarded_to", topic_name)
+        return self.sim.spawn(
+            self.publish(
+                topic_name,
+                message.payload,
+                key=message.key,
+                reply=message.reply,
+                span=message.span,
+                task=message.task,
+            ),
+            name=f"bus-forward:{message.key}",
+        )
 
     # -- consumer side -----------------------------------------------------
 

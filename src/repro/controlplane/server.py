@@ -333,6 +333,11 @@ class ManagementServer:
         """True while at least one :class:`ServerCrash` window holds us down."""
         return bool(self._crash_tokens)
 
+    @property
+    def inflight_tasks(self) -> int:
+        """Live task lifecycles — the crash-interruptible process count."""
+        return len(self._inflight)
+
     def crash(self, token: typing.Hashable) -> None:
         """Take the server down (fault-window arm).
 

@@ -15,6 +15,7 @@ from repro.datacenter.entities import Host
 from repro.sim.kernel import Process, Simulator
 from repro.sim.random import RandomStreams
 from repro.controlplane.costs import ControlPlaneConfig, ControlPlaneCosts, DEFAULT_COSTS
+from repro.controlplane.recovery import TaskJournal
 from repro.controlplane.server import ManagementServer
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +32,7 @@ class ShardedControlPlane:
         shard_count: int,
         costs: ControlPlaneCosts = DEFAULT_COSTS,
         config: ControlPlaneConfig | None = None,
+        journal: bool = False,
     ) -> None:
         if shard_count < 1:
             raise ValueError("shard_count must be >= 1")
@@ -42,6 +44,7 @@ class ShardedControlPlane:
                 costs=costs,
                 config=config,
                 name=f"vc-{index + 1}",
+                journal=TaskJournal() if journal else None,
             )
             for index in range(shard_count)
         ]
@@ -77,6 +80,26 @@ class ShardedControlPlane:
     def submit_on(self, host: Host, operation: "Operation", priority: float = 5.0) -> Process:
         """Route an operation to the shard owning ``host``."""
         return self.shard_for_host(host).submit(operation, priority=priority)
+
+    # -- shard health and load ----------------------------------------------
+
+    @staticmethod
+    def is_down(shard: ManagementServer) -> bool:
+        """True while ``shard`` is inside a crash or unavailability window.
+
+        Covers both fault shapes: a ``server_crash`` (the process is gone,
+        ``shard.crashed``) and a ``shard_crash`` (the endpoint rejects
+        submissions, ``shard.faults.blocked()``).
+        """
+        return shard.crashed or shard.faults.blocked()
+
+    @staticmethod
+    def load_of(shard: ManagementServer) -> int:
+        """Queued plus in-flight task lifecycles — the routing load signal."""
+        return shard.tasks.queue_depth + shard.inflight_tasks
+
+    def healthy_shards(self) -> list[ManagementServer]:
+        return [shard for shard in self.shards if not self.is_down(shard)]
 
     # -- aggregated reporting ------------------------------------------------
 

@@ -416,6 +416,295 @@ def message_fault_sweep(
     return results
 
 
+def check_federation_exactly_once(cloud) -> list[str]:
+    """Exactly-once across shard boundaries, as human-readable strings.
+
+    Extends :func:`check_exactly_once` to a ``FederatedCloud``: every
+    shard passes its own check; no VM name materializes on more than one
+    shard (a submission that was stolen or forwarded must execute on
+    exactly one survivor); every federation topic drains; and every
+    bus-routed submission's reply settled — no tenant deploy silently
+    lost between shards.
+    """
+    from repro.datacenter.vm import VirtualMachine
+
+    violations: list[str] = []
+    for shard in cloud.plane.shards:
+        violations.extend(f"{shard.name}: {v}" for v in check_exactly_once(shard))
+    placed: dict[str, list[str]] = {}
+    for shard in cloud.plane.shards:
+        for vm in shard.inventory.all(VirtualMachine):
+            if vm.host is not None and not vm.is_template:
+                placed.setdefault(vm.name, []).append(shard.name)
+    for name, owners in sorted(placed.items()):
+        if len(owners) > 1:
+            violations.append(
+                f"VM name {name!r} placed on {len(owners)} shards ({', '.join(owners)})"
+            )
+    bus = getattr(cloud, "bus", None)
+    if bus is not None and getattr(bus, "mediated", False):
+        for topic, depth in bus.depths().items():
+            if depth:
+                violations.append(f"topic {topic} left {depth} undelivered messages")
+    for key in cloud.unresolved_submissions():
+        violations.append(f"submission {key} never settled (lost across shards)")
+    return violations
+
+
+@dataclasses.dataclass
+class FederationFaultResult:
+    """Outcome of one skewed federated storm with one fault window."""
+
+    seed: int
+    kind: str
+    intensity: float
+    crash_kind: str
+    crash_at_s: float | None
+    downtime_s: float
+    affinity_only: bool
+    completed: int
+    failed: int
+    dead_letters: int
+    steals: int
+    spills: int
+    reroutes: int
+    remote_completions: int
+    p95_latency_s: float
+    makespan_s: float
+    violations: list[str]
+    per_shard: list[dict] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def goodput_per_hour(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed * 3600.0 / self.makespan_s
+
+
+def run_federation_fault_point(
+    seed: int,
+    kind: str | None = None,
+    intensity: float = 0.0,
+    fault_at_s: float = 5.0,
+    fault_duration_s: float = 30.0,
+    total: int = 24,
+    concurrency: int = 8,
+    shards: int = 3,
+    hosts_per_shard: int = 4,
+    orgs: int = 9,
+    skew: float = 0.8,
+    crash_at_s: float | None = None,
+    downtime_s: float = 30.0,
+    crash_kind: str = "server_crash",
+    affinity_only: bool = False,
+    spill_queue_depth: int = 4,
+    telemetry=None,
+) -> FederationFaultResult:
+    """One skewed multi-tenant deploy storm over a shard federation.
+
+    ``skew`` is the fraction of deploys driven through orgs homed on
+    shard 0 (the hot shard); ``crash_at_s`` optionally crashes that shard
+    mid-run (``crash_kind``: ``server_crash`` takes the process down and
+    replays its journal on restart, ``shard_crash`` leaves it up but
+    rejecting). ``kind`` optionally overlays one R-X5 message fault
+    (drop/duplicate/delay/reorder/partition) on the federation topics.
+    With ``affinity_only=True`` the same storm runs through the classic
+    org-pinned router — the baseline R-X8 compares against. Max-inflight
+    is held just below the worker concurrency so saturation spillover is
+    actually exercised.
+    """
+    from repro.cloud.federation import FederatedCloud
+    from repro.cloud.tenancy import Organization
+    from repro.controlplane.bus import MessageBus
+    from repro.controlplane.costs import ControlPlaneConfig
+    from repro.controlplane.resilience import RetryPolicy
+    from repro.faults.injector import FaultInjector, FaultTargets
+    from repro.faults.schedule import FaultSchedule, ServerCrash, ShardCrash
+    from repro.sim.events import AllOf
+    from repro.sim.kernel import Simulator
+    from repro.sim.random import RandomStreams
+
+    if crash_kind not in ("server_crash", "shard_crash"):
+        raise ValueError(f"unknown crash kind {crash_kind!r}")
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    # Max-inflight well below the worker concurrency: the hot shard's
+    # dispatch queue visibly backs up under skew, which is what the
+    # spillover threshold (and the hot_shard triage signature) keys on.
+    config = ControlPlaneConfig(
+        max_inflight_tasks=max(1, concurrency // 2),
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, max_backoff_s=10.0, jitter=0.5
+        ),
+    )
+    bus = None
+    if not affinity_only:
+        bus = MessageBus(sim, rng=streams.stream("fed-bus"), direct_calls=False)
+    cloud = FederatedCloud(
+        sim,
+        streams,
+        shard_count=shards,
+        hosts_per_shard=hosts_per_shard,
+        config=config,
+        bus=bus,
+        affinity_only=affinity_only,
+        journal=True,
+        telemetry=telemetry,
+        spill_queue_depth=spill_queue_depth,
+    )
+    org_objs = [
+        Organization(f"org{i}", quota_vms=1_000_000, quota_storage_gb=1e9)
+        for i in range(orgs)
+    ]
+    # Home every org up-front (all shards healthy and idle → pure
+    # round-robin, identical in both router modes), then drive ``skew``
+    # of the deploys through the orgs homed on shard 0.
+    for org in org_objs:
+        cloud.director_for(org)
+    hot = [org for i, org in enumerate(org_objs) if i % shards == 0]
+    cold = [org for i, org in enumerate(org_objs) if i % shards != 0] or hot
+    hot_tenths = int(round(skew * 10))
+    pending: list[tuple[int, Organization]] = []
+    for i in range(total):
+        pool = hot if (i % 10) < hot_tenths else cold
+        pending.append((i, pool[i % len(pool)]))
+    failures: list[str] = []
+
+    def worker():
+        while pending:
+            index, org = pending.pop(0)
+            try:
+                yield from cloud.deploy(org, "small-linux-linked", 1, f"fed-{index}")
+            except Exception as exc:  # noqa: BLE001 — failed deploys are data here
+                failures.append(f"fed-{index}: {type(exc).__name__}")
+
+    specs = []
+    if crash_at_s is not None:
+        crash_cls = ServerCrash if crash_kind == "server_crash" else ShardCrash
+        specs.append(crash_cls(start_s=crash_at_s, duration_s=downtime_s, shards=("vc-1",)))
+    if kind is not None:
+        specs.append(_message_spec(kind, intensity, fault_at_s, fault_duration_s))
+    injector = None
+    if specs:
+        injector = FaultInjector(
+            sim,
+            FaultTargets.for_federation(cloud),
+            FaultSchedule(specs),
+            rng=streams.stream("chaos-injector"),
+        ).start()
+    workers = [sim.spawn(worker(), name=f"fed-worker-{j}") for j in range(concurrency)]
+    sim.run(until=AllOf(sim, workers))
+    makespan = sim.now
+    if injector is not None:
+        sim.run(until=sim.spawn(injector.drain(), name="chaos-drain"))
+    sim.run()
+    if sim.peek() != float("inf"):
+        raise RuntimeError("simulation did not quiesce after the federation fault run")
+    completed = sum(
+        1
+        for director in cloud.directors
+        for vapp in director.vapps
+        if vapp.state.name == "RUNNING"
+    )
+    # A failed deploy either raised at the router (``failures``) or came
+    # back as a FAILED/PARTIAL vApp; both are goodput losses.
+    failed = total - completed
+    totals = cloud.federation_totals()
+    per_shard = [
+        {
+            "shard": shard.name,
+            "tasks_completed": len(shard.tasks.succeeded()),
+            "steals": stats.steals,
+            "spills": stats.spills,
+            "reroutes": stats.reroutes,
+            "remote_completions": stats.remote_completions,
+        }
+        for shard, stats in zip(cloud.plane.shards, cloud.shard_stats)
+    ]
+    return FederationFaultResult(
+        seed=seed,
+        kind=kind or "none",
+        intensity=intensity if kind is not None else 0.0,
+        crash_kind=crash_kind if crash_at_s is not None else "none",
+        crash_at_s=crash_at_s,
+        downtime_s=downtime_s if crash_at_s is not None else 0.0,
+        affinity_only=affinity_only,
+        completed=completed,
+        failed=failed,
+        dead_letters=cloud.plane.dead_letters(),
+        steals=totals["steals"],
+        spills=totals["spills"],
+        reroutes=totals["reroutes"],
+        remote_completions=totals["remote_completions"],
+        p95_latency_s=cloud.deploy_latency_p(0.95),
+        makespan_s=makespan,
+        violations=check_federation_exactly_once(cloud),
+        per_shard=per_shard,
+    )
+
+
+def federation_fault_sweep(
+    seeds: typing.Iterable[int],
+    points_per_seed: int = 7,
+    rng: random.Random | None = None,
+    total: int = 18,
+    concurrency: int = 6,
+    shards: int = 3,
+) -> list[FederationFaultResult]:
+    """Randomized cross-shard fault points; returns every run's result.
+
+    Each seed cycles through a shard-crash point, a server-crash point,
+    and the five R-X5 message-fault kinds overlaid on a mid-run crash of
+    the hot shard — the full chaos posture re-run on the federation
+    topics. Crash timing, downtime, and intensities are drawn from a
+    separate stream so adding sweep points never perturbs the workloads.
+    """
+    rng = rng or random.Random(0xFEDE)
+    points = ("shard_crash", "server_crash") + MESSAGE_FAULT_KINDS
+    results: list[FederationFaultResult] = []
+    for seed in seeds:
+        for point in range(points_per_seed):
+            label = points[point % len(points)]
+            crash_at = rng.uniform(2.0, 30.0)
+            downtime = rng.uniform(10.0, 60.0)
+            if label in ("shard_crash", "server_crash"):
+                kind, intensity = None, 0.0
+                crash_kind = label
+            else:
+                kind = label
+                crash_kind = "server_crash" if point % 2 else "shard_crash"
+                if kind == "drop":
+                    intensity = rng.uniform(0.1, 0.5)
+                elif kind == "duplicate":
+                    intensity = rng.uniform(0.1, 0.4)
+                elif kind == "delay":
+                    intensity = rng.uniform(0.5, 4.0)
+                elif kind == "reorder":
+                    intensity = rng.uniform(0.2, 0.8)
+                else:
+                    intensity = 0.0
+            results.append(
+                run_federation_fault_point(
+                    seed,
+                    kind=kind,
+                    intensity=intensity,
+                    fault_at_s=rng.uniform(1.0, 20.0),
+                    fault_duration_s=rng.uniform(10.0, 40.0),
+                    total=total,
+                    concurrency=concurrency,
+                    shards=shards,
+                    crash_at_s=crash_at,
+                    downtime_s=downtime,
+                    crash_kind=crash_kind,
+                )
+            )
+    return results
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
     """CLI: ``python -m repro.faults.chaos --seeds 20 --points 10``."""
     import argparse
@@ -426,9 +715,12 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("crash", "message"),
+        choices=("crash", "message", "federation"),
         default="crash",
-        help="crash: server-crash sweep; message: bus message-fault sweep",
+        help=(
+            "crash: server-crash sweep; message: bus message-fault sweep; "
+            "federation: cross-shard crash + message chaos on the federation topics"
+        ),
     )
     parser.add_argument("--seeds", type=int, default=20, help="number of workload seeds")
     parser.add_argument("--points", type=int, default=10, help="fault points per seed")
@@ -438,6 +730,37 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "--sweep-seed", type=int, default=None, help="seed for fault-point draws"
     )
     args = parser.parse_args(argv)
+
+    if args.mode == "federation":
+        sweep_seed = 0xFEDE if args.sweep_seed is None else args.sweep_seed
+        results = federation_fault_sweep(
+            range(args.seeds),
+            points_per_seed=args.points,
+            rng=random.Random(sweep_seed),
+            total=args.total,
+            concurrency=args.concurrency,
+        )
+        bad = [r for r in results if not r.ok]
+        print(
+            f"federation sweep: {len(results)} fault points across {args.seeds} seeds — "
+            f"{sum(r.completed for r in results)} deploys completed, "
+            f"{sum(r.steals for r in results)} stolen, "
+            f"{sum(r.spills for r in results)} spilled, "
+            f"{sum(r.reroutes for r in results)} rerouted, "
+            f"{sum(r.dead_letters for r in results)} dead-lettered"
+        )
+        if bad:
+            for result in bad:
+                print(
+                    f"FAIL seed={result.seed} kind={result.kind} "
+                    f"crash={result.crash_kind}@{result.crash_at_s:.1f}s:"
+                )
+                for violation in result.violations:
+                    print(f"  - {violation}")
+            print(f"{len(bad)}/{len(results)} fault points violated cross-shard exactly-once")
+            return 1
+        print("cross-shard exactly-once invariant held at every fault point")
+        return 0
 
     if args.mode == "message":
         sweep_seed = 0xB005 if args.sweep_seed is None else args.sweep_seed

@@ -56,8 +56,12 @@ class FaultTargets:
         servers: typing.Sequence["ManagementServer"],
         hosts: typing.Sequence[Host] | None = None,
         datastores: typing.Sequence[Datastore] | None = None,
+        buses: typing.Sequence | None = None,
     ) -> None:
         self.servers: list["ManagementServer"] = list(servers)
+        # Buses not owned by any target server — e.g. the federation bus,
+        # which lives on the FederatedCloud while its shards run direct.
+        self._extra_buses: list = list(buses) if buses else []
         if not self.servers:
             raise ValueError("FaultTargets needs at least one management server")
         if hosts is None:
@@ -82,6 +86,13 @@ class FaultTargets:
     def for_shards(cls, plane) -> "FaultTargets":
         """Build targets from a ``ShardedControlPlane``-shaped object."""
         return cls(list(plane.shards))
+
+    @classmethod
+    def for_federation(cls, cloud) -> "FaultTargets":
+        """Targets for a ``FederatedCloud``: every shard plus the federation bus."""
+        bus = getattr(cloud, "bus", None)
+        buses = [bus] if bus is not None and getattr(bus, "mediated", False) else None
+        return cls(list(cloud.plane.shards), buses=buses)
 
     # -- selection ---------------------------------------------------------
 
@@ -138,10 +149,10 @@ class FaultTargets:
         ``repro.controlplane`` imports; direct-call rigs yield an empty
         list, so message-fault specs arm as no-ops there.
         """
-        out = []
+        out = list(self._extra_buses)
         for server in self.servers:
             bus = getattr(server, "bus", None)
-            if bus is not None and getattr(bus, "mediated", False):
+            if bus is not None and getattr(bus, "mediated", False) and bus not in out:
                 out.append(bus)
         return out
 

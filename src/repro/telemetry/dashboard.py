@@ -7,6 +7,7 @@ after the fact. Shown by ``python -m repro metrics``.
 
 from __future__ import annotations
 
+import re
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -15,6 +16,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 SPARK_TICKS = "▁▂▃▄▅▆▇█"
 BREAKER_NAMES = {0: "closed", 1: "half-open", 2: "OPEN"}
+_SHARD_LABEL = re.compile(r'shard="([^"]+)"')
 
 
 def sparkline(values: typing.Sequence[float], width: int = 24) -> str:
@@ -122,6 +124,25 @@ def render_dashboard(
             lines.append(
                 _fmt_row(metric_id, f"{sparkline(values)} tokens={series.last_value():.1f}")
             )
+
+    # Federation routing: one row per shard with its steal / spill /
+    # reroute / remote-completion counters (cumulative probe levels).
+    fed_fields = ("steals", "spills", "reroutes", "remote_completions")
+    per_shard: dict[str, dict[str, float]] = {}
+    for metric_id, series in sorted(telemetry.rollups.items()):
+        base = metric_id.split("{", 1)[0]
+        if not base.startswith("federation_") or base[len("federation_"):] not in fed_fields:
+            continue
+        match = _SHARD_LABEL.search(metric_id)
+        shard = match.group(1) if match else "?"
+        per_shard.setdefault(shard, {})[base[len("federation_"):]] = series.last_value()
+    if per_shard:
+        section("-- federation (per shard) --")
+        for shard, values in sorted(per_shard.items()):
+            body = "  ".join(
+                f"{field}={values.get(field, 0.0):.0f}" for field in fed_fields
+            )
+            lines.append(_fmt_row(shard, body))
 
     # Throughput-ish counters: show per-window rates.
     rates = {

@@ -34,6 +34,9 @@ Signal map (docs/triage.md renders this as the rule catalogue):
 ``topic_partition``   a topic published into but not delivering (queue
                       builds, nothing dropped) — or, post-heal, huge
                       queue waits with zero drop/delay counters
+``hot_shard``         ``federation_spills{shard=}`` growing on one shard
+                      while sibling ``federation_steals`` absorb the
+                      spillover (queue-depth imbalance corroborates)
 ====================  ====================================================
 """
 
@@ -569,6 +572,57 @@ class TopicPartitionRule(TriageRule):
         return None
 
 
+class HotShardRule(TriageRule):
+    name = "hot-shard"
+    kind = "hot_shard"
+    phase = "task"
+    summary = (
+        "federation spillover growing on one shard while siblings steal "
+        "the overflow — skewed tenant load saturating a shard"
+    )
+
+    def evaluate(self, ctx):
+        spills: dict[str, float] = {}
+        for metric_id in ctx.find("federation_spills"):
+            increase = ctx.increase(metric_id)
+            if increase > 0:
+                spills[ctx.labels(metric_id).get("shard", metric_id)] = increase
+        if not spills or sum(spills.values()) < 2:
+            return None
+        steals = sum(ctx.increase(m) for m in ctx.find("federation_steals"))
+        if steals < 1:
+            # Spillover with nobody stealing is backpressure, not a hot
+            # shard being absorbed — stay silent rather than misattribute.
+            return None
+        hot = max(sorted(spills), key=lambda shard: spills[shard])
+        evidence = [
+            Evidence(
+                f"federation_spills[{hot}]",
+                f"shard {hot} spilling submissions to the shared pool",
+                spills[hot],
+            ),
+            Evidence(
+                "federation_steals",
+                "sibling shards stealing the spilled work",
+                steals,
+            ),
+        ]
+        confidence = 0.65 + 0.2 * min(1.0, sum(spills.values()) / 10.0)
+        depths = [ctx.recent_max(m) for m in ctx.find("tasks_queue_depth")]
+        depths = [d for d in depths if d is not None]
+        if len(depths) >= 2 and max(depths) >= 4 and max(depths) >= 4 * (min(depths) + 0.5):
+            confidence += 0.07
+            evidence.append(
+                Evidence(
+                    "tasks_queue_depth",
+                    "per-shard dispatch queues sharply imbalanced",
+                    max(depths),
+                    min(depths),
+                )
+            )
+        return self._hypothesis(hot, confidence, evidence)
+
+
 def default_rules() -> list[TriageRule]:
     """The full catalogue, in deterministic evaluation order."""
     return [
@@ -584,4 +638,5 @@ def default_rules() -> list[TriageRule]:
         MessageDelayRule(),
         MessageReorderRule(),
         TopicPartitionRule(),
+        HotShardRule(),
     ]

@@ -1,0 +1,79 @@
+"""Federation neutrality: ``affinity_only=True`` must not perturb anything.
+
+The compatibility-switch differential the federation ISSUE demands: run
+the same seeded skewed deploy storm through a :class:`FederatedCloud`
+with no bus at all and with a mediated bus attached but
+``affinity_only=True``, and require the per-shard *task schedules* —
+every task's submit/start/finish time, state, and attempt count — to be
+identical. In affinity mode the federation creates no topics and spawns
+no consumers, so attaching the transport must not shift a single
+workload event (the same discipline as ``direct_calls`` on the bus
+itself, ``tests/controlplane/test_bus_neutrality.py``).
+"""
+
+from repro.cloud import FederatedCloud, Organization, VAppState
+from repro.controlplane.bus import MessageBus
+from repro.sim import RandomStreams, Simulator
+from repro.sim.events import AllOf
+
+
+def schedule_of(cloud):
+    return [
+        (
+            shard.name,
+            task.task_id,
+            task.op_type,
+            task.submitted_at,
+            task.started_at,
+            task.finished_at,
+            task.state.name,
+            task.attempts,
+        )
+        for shard in cloud.plane.shards
+        for task in shard.tasks.tasks
+    ]
+
+
+def run_storm(with_bus: bool, seed: int = 5):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    bus = None
+    if with_bus:
+        bus = MessageBus(sim, rng=streams.stream("fed-bus"), direct_calls=False)
+    cloud = FederatedCloud(
+        sim, streams, shard_count=3, hosts_per_shard=4,
+        bus=bus, affinity_only=True,
+    )
+    orgs = [Organization(f"org-{i}") for i in range(6)]
+    vapps = []
+
+    def proc(index):
+        org = orgs[index % len(orgs)]
+        # Skewed: org-0 fields half the deploys.
+        if index % 2 == 0:
+            org = orgs[0]
+        vapp = yield from cloud.deploy(org, "small-linux-linked", 2, f"app-{index}")
+        vapps.append(vapp)
+
+    procs = [sim.spawn(proc(i), name=f"deploy-{i}") for i in range(12)]
+    sim.run(until=AllOf(sim, procs))
+    sim.run()
+    return cloud, vapps
+
+
+def test_schedule_identical_with_and_without_idle_bus():
+    cloud_off, vapps_off = run_storm(with_bus=False)
+    cloud_on, vapps_on = run_storm(with_bus=True)
+
+    assert schedule_of(cloud_on) == schedule_of(cloud_off)
+    assert [v.state for v in vapps_on] == [v.state for v in vapps_off]
+    assert all(v.state == VAppState.RUNNING for v in vapps_on)
+    # Not vacuous: the bus was attached and mediated, but the affinity
+    # router never touched it — no topics, no consumers, no publishes.
+    assert cloud_on.bus is not None and cloud_on.bus.mediated
+    assert cloud_on.bus.topic_stats() == {}
+    assert cloud_off.bus is None
+    # And no federation counter moved in either run.
+    zeros = {"steals": 0, "spills": 0, "reroutes": 0, "remote_completions": 0}
+    assert cloud_on.federation_totals() == zeros
+    assert cloud_off.federation_totals() == zeros

@@ -304,3 +304,88 @@ def test_direct_mode_bus_reports_unmediated():
     bus = MessageBus(sim)  # default direct_calls=True
     assert bus.direct_calls and not bus.mediated
     assert bus.topic_stats() == {}
+
+
+# -- shared subscriptions and forwarding (federation primitives) ----------
+
+
+def test_shared_topic_fans_work_across_consumers():
+    sim, bus = make_bus()
+    topic = bus.subscribe_shared("pool")
+    left, right = [], []
+    consume(bus, topic, left, 2)
+    consume(bus, topic, right, 2)
+    for i in range(4):
+        publish(bus, "pool", f"p{i}", key=f"k{i}")
+    sim.run()
+    # Every message delivered exactly once, split across the two pullers.
+    assert sorted(left + right) == ["p0", "p1", "p2", "p3"]
+    assert left and right
+
+
+def test_shared_topic_rejects_exclusive_subscribe():
+    _, bus = make_bus()
+    pool = bus.subscribe_shared("pool")
+    with pytest.raises(RuntimeError):
+        bus.subscribe("pool")
+    # Joining the pool again is fine — that is the point of shared.
+    assert bus.subscribe_shared("pool") is pool
+
+
+def test_exclusive_topic_rejects_shared_subscribe():
+    _, bus = make_bus()
+    bus.subscribe("t")
+    with pytest.raises(RuntimeError):
+        bus.subscribe_shared("t")
+
+
+def test_forward_reroutes_without_consuming_key():
+    sim, bus = make_bus()
+    source = bus.subscribe("src")
+    sink = bus.subscribe("dst")
+    results = []
+    consume(bus, sink, results, 1)
+
+    def reroute():
+        message = yield source.get()
+        bus.forward(message, "dst")
+
+    sim.spawn(reroute(), name="reroute")
+    reply = sim.event(name="reply:fwd")
+    publish(bus, "src", "payload", key="fwd-1", reply=reply)
+    sim.run()
+    assert results == ["payload"]
+    assert bus.topic_stats()["src"].forwarded == 1
+    # The idempotency key survived the hop: the forwarded copy was the
+    # one accepted, and a later duplicate of the same key is deduped.
+    publish(bus, "dst", "payload", key="fwd-1")
+    sim.run(until=sim.timeout(0.0))
+    sim.run()
+    assert bus.topic_stats()["dst"].deduped >= 1
+
+
+def test_forward_settles_reply_from_executing_consumer():
+    sim, bus = make_bus()
+    source = bus.subscribe("src")
+    sink = bus.subscribe("dst")
+
+    def reroute():
+        message = yield source.get()
+        bus.forward(message, "dst")
+
+    def execute():
+        message = yield sink.get()
+        assert bus.accept(message)
+
+        def work():
+            yield sim.timeout(1.0)
+            return "done"
+
+        bus.bridge(sim.spawn(work(), name="work"), message)
+
+    sim.spawn(reroute(), name="reroute")
+    sim.spawn(execute(), name="execute")
+    reply = sim.event(name="reply:fwd")
+    publish(bus, "src", "payload", key="fwd-2", reply=reply)
+    sim.run()
+    assert reply.triggered and reply.value == "done"

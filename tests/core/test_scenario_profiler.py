@@ -81,7 +81,7 @@ class TestExperimentRegistry:
             "R-F1", "R-F2", "R-F3", "R-F4", "R-F5",
             "R-F6", "R-F7", "R-F8", "R-F9", "R-F10",
             "R-F-phase", "R-F-alerts", "R-F-hyperscale",
-            "R-X1", "R-X2", "R-X3", "R-X4", "R-X5", "R-X6", "R-X7",
+            "R-X1", "R-X2", "R-X3", "R-X4", "R-X5", "R-X6", "R-X7", "R-X8",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -97,3 +97,25 @@ class TestDashboard:
         assert "-- queue depth --" in text
         assert "-- rates (per window) --" in text
         assert "(none fired)" in text
+
+    def test_dashboard_federation_section(self):
+        sim = Simulator()
+        t = Telemetry(sim, scrape_interval_s=5.0)
+        counters = {"vc-1": 4.0, "vc-2": 0.0}
+        for shard in counters:
+            t.probe("federation_steals", lambda s=shard: counters[s], shard=shard)
+            t.probe("federation_spills", lambda s=shard: 2.0 if s == "vc-2" else 0.0,
+                    shard=shard)
+            t.probe("federation_reroutes", lambda: 1.0, shard=shard)
+            t.probe("federation_remote_completions", lambda s=shard: counters[s],
+                    shard=shard)
+        t.scrape_now()
+        text = render_dashboard(t)
+        assert "-- federation (per shard) --" in text
+        lines = [line for line in text.splitlines() if line.strip().startswith("vc-")]
+        assert len(lines) == 2
+        assert "steals=4" in lines[0] and "spills=0" in lines[0]
+        assert "spills=2" in lines[1] and "remote_completions=0" in lines[1]
+
+    def test_dashboard_no_federation_section_without_probes(self, telemetry):
+        assert "-- federation" not in render_dashboard(telemetry)
